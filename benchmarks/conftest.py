@@ -1,0 +1,23 @@
+"""Shared context for the paper-artifact benchmarks.
+
+Each benchmark file regenerates one table or figure; the session-scoped
+context caches the dataset twins and their (expensive) reuse profiles so
+the whole suite runs in a few minutes.
+"""
+
+import pytest
+
+from repro.bench.figures import BenchContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext(scale=0.5)
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

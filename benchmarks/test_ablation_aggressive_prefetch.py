@@ -1,0 +1,32 @@
+"""Ablation: deeper software prefetch (the §7.2.1 future-work hint).
+
+"Free fill buffer entries suggest that adding more aggressive software
+prefetches may yield additional speedup" — priced with the Table-4
+fill-buffer occupancies per dataset/variant.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.harness import Experiment
+from repro.bench.paper_values import TAB4_CHARACTERIZATION
+from repro.dma.extensions import aggressive_prefetch_estimate
+
+
+def _sweep(ctx):
+    exp = Experiment(
+        "ablation-prefetch+", "Aggressive prefetch headroom from Table 4"
+    )
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        occupancy = TAB4_CHARACTERIZATION[name]["c-locality"]["fill_full"]
+        estimate = aggressive_prefetch_estimate(occupancy)
+        exp.add(f"{name} c-locality headroom", estimate.speedup_over_default)
+    return exp
+
+
+def test_aggressive_prefetch_ablation(benchmark, ctx):
+    exp = run_experiment(benchmark, _sweep, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    # products/wikipedia have idle fill buffers after c-locality ->
+    # headroom; papers/twitter are pegged -> none (Section 7.2.1).
+    assert values["products c-locality headroom"] > 1.05
+    assert values["twitter c-locality headroom"] == 1.0

@@ -1,0 +1,39 @@
+"""Ablation: compression break-even sparsity (Section 4.3).
+
+The mask costs 1/32 of the dense traffic, so transfers only shrink above
+~3.1% sparsity — and end-to-end speedup needs much more than that
+because decompression adds compute (Figure 14's 10% points lose).
+"""
+
+import numpy as np
+from conftest import run_experiment
+
+from repro.bench.harness import Experiment
+from repro.perf import CostModel
+from repro.tensors import traffic_saved
+
+
+def _sweep(ctx):
+    model = ctx.cost_model("products")
+    exp = Experiment("ablation-breakeven", "Compression break-even sparsity")
+    exp.add("traffic break-even sparsity", 1 / 32, unit="frac")
+    # Find the end-to-end break-even by bisection on the cost model.
+    low, high = 0.0, 0.9
+    for _ in range(20):
+        mid = (low + high) / 2
+        s = model.speedup("compression", 100, 128, sparsity=mid, baseline="basic")
+        if s < 1.0:
+            low = mid
+        else:
+            high = mid
+    exp.add("end-to-end break-even sparsity", (low + high) / 2, unit="frac")
+    return exp
+
+
+def test_breakeven_ablation(benchmark, ctx):
+    exp = run_experiment(benchmark, _sweep, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    # End-to-end break-even is far above the 3.1% traffic break-even and
+    # sits between Figure 14's losing 10% point and winning 30% point.
+    assert 0.10 < values["end-to-end break-even sparsity"] < 0.35
+    assert traffic_saved(values["end-to-end break-even sparsity"]) > 0

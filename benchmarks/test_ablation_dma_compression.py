@@ -1,0 +1,34 @@
+"""Ablation: the compression-capable DMA engine the paper rejected (§5).
+
+Quantifies "the use case does not justify the hardware cost": at the
+evaluation's 50% sparsity the speedup does not clear the ~3x engine-area
+cost; at the >=90% sparsity of deep dropout layers it would.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.harness import Experiment
+from repro.dma.extensions import compressed_dma_estimate
+
+
+def _sweep(ctx):
+    exp = Experiment(
+        "ablation-dma-comp", "Compression-capable DMA engine (rejected design)"
+    )
+    for sparsity in (0.0, 0.3, 0.5, 0.7, 0.9, 0.95):
+        estimate = compressed_dma_estimate(sparsity)
+        exp.add(f"sparsity {sparsity:.0%} speedup", estimate.speedup_over_plain_dma)
+        exp.add(
+            f"sparsity {sparsity:.0%} worthwhile",
+            float(estimate.worthwhile),
+            unit="bool",
+        )
+    exp.note(f"engine area grows {compressed_dma_estimate(0.5).area_ratio:.1f}x")
+    return exp
+
+
+def test_dma_compression_ablation(benchmark, ctx):
+    exp = run_experiment(benchmark, _sweep, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    assert values["sparsity 50% worthwhile"] == 0.0  # the paper's call
+    assert values["sparsity 95% worthwhile"] == 1.0  # ...and its limit

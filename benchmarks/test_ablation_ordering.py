@@ -1,0 +1,35 @@
+"""Ablation: Algorithm 3 vs simpler orderings.
+
+Compares the paper's locality order against plain degree sorting and a
+random shuffle on the gather hit rate at the machine's scaled capacity.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.harness import Experiment
+from repro.graphs import degree_sorted_order, locality_order, randomized_order
+from repro.perf import CostModel
+
+
+def _sweep(ctx):
+    graph = ctx.graph("products")
+    model = CostModel(graph)
+    capacity = model.capacity_vectors
+    exp = Experiment("ablation-order", "Gather hit rate by processing order")
+    exp.add("natural", model.profile("natural").hit_rate(capacity), unit="frac")
+    exp.add("randomized", model.profile("randomized").hit_rate(capacity), unit="frac")
+    from repro.perf.reuse import reuse_profile
+
+    degree_hit = reuse_profile(graph, degree_sorted_order(graph)).hit_rate(capacity)
+    exp.add("degree-sorted", degree_hit, unit="frac")
+    exp.add("locality (Alg. 3)", model.profile("locality").hit_rate(capacity), unit="frac")
+    return exp
+
+
+def test_ordering_ablation(benchmark, ctx):
+    exp = run_experiment(benchmark, _sweep, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    # Algorithm 3 beats both naive alternatives: degree sorting clusters
+    # hubs but not their readers.
+    assert values["locality (Alg. 3)"] > values["degree-sorted"]
+    assert values["locality (Alg. 3)"] > values["randomized"]

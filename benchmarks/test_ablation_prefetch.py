@@ -1,0 +1,32 @@
+"""Ablation: software-prefetch policy (Section 4.1).
+
+The paper prefetches only the first two cache lines of each upcoming
+feature vector because the L1 fill buffers are already full of demand
+misses; this ablation quantifies how many prefetches each policy issues.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.harness import Experiment
+from repro.graphs import synthetic_features
+from repro.kernels import BasicKernel
+
+
+def _sweep(ctx):
+    graph = ctx.graph("products")
+    h = synthetic_features(graph, 64, seed=0)
+    exp = Experiment("ablation-D", "Prefetch distance: hints issued")
+    for distance in (0, 1, 4, 16):
+        _, stats = BasicKernel(prefetch_distance=distance).aggregate(graph, h)
+        exp.add(f"D={distance} prefetch hints", float(stats.prefetches), unit="")
+    return exp
+
+
+def test_prefetch_ablation(benchmark, ctx):
+    exp = run_experiment(benchmark, _sweep, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    assert values["D=0 prefetch hints"] == 0.0
+    assert values["D=4 prefetch hints"] > 0
+    # Two lines per vector regardless of D (the Section 4.1 policy).
+    gathers = ctx.graph("products").num_edges + ctx.graph("products").num_vertices
+    assert values["D=1 prefetch hints"] <= gathers * 2

@@ -1,0 +1,23 @@
+"""Figure 2: sampled GraphSAGE training on a GPU — epoch breakdown.
+
+Regenerates the motivation experiment: the CPU-side sampler runs for
+real on the products twin; sampling should dominate the epoch and epoch
+time should shrink as mini-batches grow.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig2_gpu_sampling
+
+
+def test_fig2_gpu_sampling(benchmark, ctx):
+    exp = run_experiment(benchmark, fig2_gpu_sampling, ctx)
+    shares = [r.measured for r in exp.rows if "share" in r.label]
+    assert all(s > 0.5 for s in shares)
+    assert exp.shape_holds(
+        [
+            "batch-4096 epoch time (norm.)",
+            "batch-2048 epoch time (norm.)",
+            "batch-1024 epoch time (norm.)",
+        ]
+    )

@@ -1,0 +1,12 @@
+"""Figure 3: pipeline-slot breakdown of the baseline full-batch training."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig3_topdown
+
+
+def test_fig3_topdown(benchmark, ctx):
+    exp = run_experiment(benchmark, fig3_topdown, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    assert values["retiring"] < 0.2
+    assert values["memory bound"] > 0.5

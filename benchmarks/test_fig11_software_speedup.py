@@ -1,0 +1,37 @@
+"""Figure 11: software-technique speedups over DistGNN.
+
+One test per panel (inference / training) and per GNN model; the GCN and
+GraphSAGE panels are near-identical in the paper too ("performance is
+determined primarily by memory behavior, which is the same for the two
+GNNs" — Section 7.1.1).
+"""
+
+import pytest
+from conftest import run_experiment
+
+from repro.bench.figures import fig11_software_speedups
+
+
+@pytest.mark.parametrize("gnn", ["gcn", "sage"])
+def test_fig11a_inference(benchmark, ctx, gnn):
+    exp = run_experiment(benchmark, fig11_software_speedups, ctx, False, gnn)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        assert values[f"{name} mkl"] < 1.0 < values[f"{name} basic"]
+        assert values[f"{name} combined"] == max(
+            values[f"{name} {v}"]
+            for v in ("mkl", "basic", "fusion", "compression", "combined")
+        )
+    assert exp.max_paper_deviation() < 0.45
+
+
+@pytest.mark.parametrize("gnn", ["gcn", "sage"])
+def test_fig11b_training(benchmark, ctx, gnn):
+    exp = run_experiment(benchmark, fig11_software_speedups, ctx, True, gnn)
+    values = {r.label: r.measured for r in exp.rows}
+    gains = {
+        name: values[f"{name} c-locality"] / values[f"{name} combined"]
+        for name in ("products", "wikipedia", "papers", "twitter")
+    }
+    assert gains["products"] == max(gains.values())  # Fig. 11b's headline
+    assert values["products c-locality"] > 1.9

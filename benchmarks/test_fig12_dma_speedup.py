@@ -1,0 +1,34 @@
+"""Figure 12: simulated speedups with the DMA engine.
+
+Trace-driven: products and wikipedia twins only, mirroring the paper's
+"hardware evaluation is limited to products and wikipedia due to very
+long simulation times" (Section 6).
+"""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig12_dma_speedups
+
+
+def test_fig12a_inference(benchmark):
+    exp = run_experiment(benchmark, fig12_dma_speedups, False)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia"):
+        assert values[f"{name} fusion"] > 1.0
+        assert values[f"{name} fusion+DMA"] > values[f"{name} fusion"]
+
+
+def test_fig12b_training(benchmark):
+    exp = run_experiment(benchmark, fig12_dma_speedups, True)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia"):
+        assert values[f"{name} fusion+DMA"] > values[f"{name} fusion"]
+        assert (
+            values[f"{name} fusion+DMA+locality"]
+            > values[f"{name} fusion+locality"]
+        )
+    # products gains the most from locality (consistent with Fig. 11b).
+    assert (
+        values["products fusion+DMA+locality"]
+        > values["wikipedia fusion+DMA+locality"]
+    )

@@ -1,0 +1,20 @@
+"""Figure 13: execution-time split of basic vs fused on hidden layers."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig13_fusion_breakdown
+
+
+def test_fig13_fusion_breakdown(benchmark, ctx):
+    exp = run_experiment(benchmark, fig13_fusion_breakdown, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    # Aggregation dominates everywhere; wikipedia has the largest update
+    # share and hence the most fusion headroom (the paper's explanation).
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        assert values[f"{name} basic aggregation share"] > 0.5
+        assert values[f"{name} fused inference (norm.)"] <= 1.0
+        assert (
+            values[f"{name} fused fwd-training (norm.)"]
+            >= values[f"{name} fused inference (norm.)"]
+        )
+    assert exp.max_paper_deviation() < 0.35

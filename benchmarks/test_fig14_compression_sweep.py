@@ -1,0 +1,16 @@
+"""Figure 14: feature-compression speedup vs sparsity level."""
+
+import pytest
+from conftest import run_experiment
+
+from repro.bench.figures import fig14_compression_sweep
+
+
+@pytest.mark.parametrize("training", [False, True], ids=["inference", "training"])
+def test_fig14_compression(benchmark, ctx, training):
+    exp = run_experiment(benchmark, fig14_compression_sweep, ctx, training)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        assert values[f"{name} @10%"] < 1.0
+        assert values[f"{name} @90%"] > 1.3
+        assert exp.shape_holds([f"{name} @{s}%" for s in (10, 30, 50, 70, 90)])

@@ -1,0 +1,19 @@
+"""Figure 15: locality reordering vs the randomized-order reference."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig15_locality
+
+
+def test_fig15_locality(benchmark, ctx):
+    exp = run_experiment(benchmark, fig15_locality, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    # products/papers ship with no source locality: combined == randomized.
+    assert abs(values["products combined"] - 1.0) < 0.1
+    assert abs(values["papers combined"] - 1.0) < 0.1
+    # wikipedia/twitter are pre-localized: combined beats randomized.
+    assert values["wikipedia combined"] > 1.02
+    assert values["twitter combined"] > 1.0
+    # The reordering improves every dataset (Section 7.2.4's conclusion).
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        assert values[f"{name} locality"] >= values[f"{name} combined"] * 0.98

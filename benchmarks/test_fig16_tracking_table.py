@@ -1,0 +1,15 @@
+"""Figure 16: DMA-aggregation time vs Memory Request Tracking Table size."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import fig16_tracking_table
+
+
+def test_fig16_tracking_table(benchmark):
+    exp = run_experiment(benchmark, fig16_tracking_table)
+    values = {r.label: r.measured for r in exp.rows}
+    # Time decreases significantly from 8 to 32 entries, then flattens —
+    # the reason the paper picks 32 (Section 7.3.3).
+    assert values["16 entries (norm.)"] < 0.8
+    assert values["32 entries (norm.)"] < values["16 entries (norm.)"]
+    assert values["64 entries (norm.)"] > values["32 entries (norm.)"] * 0.9

@@ -1,0 +1,13 @@
+"""Section 7.3.2: overall memory-system improvement from the DMA engine."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import sec732_memory_system
+
+
+def test_sec732_memory_system(benchmark):
+    exp = run_experiment(benchmark, sec732_memory_system)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia"):
+        assert values[f"{name} L2 miss after"] < values[f"{name} L2 miss before"]
+        assert values[f"{name} L2 miss after"] < 0.1

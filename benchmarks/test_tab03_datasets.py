@@ -1,0 +1,12 @@
+"""Table 3: dataset statistics of the twins vs the published originals."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import tab3_datasets
+
+
+def test_tab3_datasets(benchmark, ctx):
+    exp = run_experiment(benchmark, tab3_datasets, ctx)
+    for row in exp.rows:
+        if "mean degree" in row.label:
+            assert 0.5 <= row.ratio <= 1.5

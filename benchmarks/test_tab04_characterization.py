@@ -1,0 +1,22 @@
+"""Table 4: memory-performance characterization of GCN training."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import tab4_characterization
+
+
+def test_tab4_characterization(benchmark, ctx):
+    exp = run_experiment(benchmark, tab4_characterization, ctx)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia", "papers", "twitter"):
+        # Optimizations raise retiring and relieve the memory bound.
+        assert (
+            values[f"{name} c-locality retiring"]
+            >= values[f"{name} distgnn retiring"]
+        )
+        assert (
+            values[f"{name} combined memory-bound"]
+            <= values[f"{name} distgnn memory-bound"] + 0.02
+        )
+        # Baselines peg the L1 fill buffers (Section 3).
+        assert values[f"{name} distgnn fill-buffer-full"] == 1.0

@@ -1,0 +1,23 @@
+"""Table 5: private-cache access reduction thanks to the DMA engine."""
+
+from conftest import run_experiment
+
+from repro.bench.figures import tab5_cache_reduction
+
+
+def test_tab5_cache_reduction(benchmark):
+    exp = run_experiment(benchmark, tab5_cache_reduction)
+    values = {r.label: r.measured for r in exp.rows}
+    for name in ("products", "wikipedia"):
+        assert values[f"{name} agg-only L1 reduction"] > 0.9
+        assert values[f"{name} agg-only L2 reduction"] > 0.9
+        assert (
+            values[f"{name} fused L1 reduction"]
+            < values[f"{name} agg-only L1 reduction"]
+        )
+    # products' higher degree -> larger fused-mode reduction (the paper's
+    # wikipedia explanation in Section 7.3.1).
+    assert (
+        values["products fused L1 reduction"]
+        > values["wikipedia fused L1 reduction"]
+    )

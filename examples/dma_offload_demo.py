@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Drive the Graphite DMA engine directly (Section 5).
+
+Shows the hardware interface at full fidelity:
+
+1. hand-build a 64-byte aggregation descriptor (Figure 8) and execute it
+   on one engine — a weighted gather-reduce over explicit memory,
+2. offload a whole layer through the per-core engines with the pipelined
+   Algorithm 5 runner, verify against the reference aggregation, and
+3. compare core-side cache accesses against a core-executed run
+   (the Table 5 measurement).
+
+Run:  python examples/dma_offload_demo.py
+"""
+
+import numpy as np
+
+from repro.dma import (
+    AggregationDescriptor,
+    BinOp,
+    DmaAddressSpace,
+    DmaEngine,
+    DmaOffloadRunner,
+    RedOp,
+)
+from repro.graphs import load_dataset, synthetic_features
+from repro.nn import aggregate
+from repro.sim import CoreAggregationSim
+
+
+def single_descriptor_demo() -> None:
+    """Figure 9's example, executed for real: aggregate one vertex."""
+    print("== one descriptor, one engine ==")
+    # Three 4-element feature rows; gather rows 0 and 2 with weights.
+    features = np.arange(12, dtype=np.float32)
+    indices = np.array([0, 2], dtype=np.int64)
+    factors = np.array([0.5, 2.0], dtype=np.float32)
+    output = np.zeros(4, dtype=np.float32)
+    status = np.zeros(1, dtype=np.int64)
+
+    space = DmaAddressSpace()
+    bases = {"in": 0x1000, "idx": 0x2000, "factor": 0x3000,
+             "out": 0x4000, "status": 0x5000}
+    space.register(bases["in"], features)
+    space.register(bases["idx"], indices)
+    space.register(bases["factor"], factors)
+    space.register(bases["out"], output)
+    space.register(bases["status"], status)
+
+    descriptor = AggregationDescriptor(
+        num_values=4,             # E: elements per data block
+        num_blocks=2,             # N: rows gathered
+        padded_block_bytes=16,    # S: row stride
+        idx_addr=bases["idx"],
+        in_addr=bases["in"],
+        out_addr=bases["out"],
+        factor_addr=bases["factor"],
+        status_addr=bases["status"],
+        red_op=RedOp.SUM,
+        bin_op=BinOp.MUL,         # ψ: multiply by the factor array
+    )
+    print(f"descriptor wire format: {len(descriptor.pack())} bytes")
+
+    engine = DmaEngine(core=0, address_space=space)
+    code = engine.execute(descriptor)
+    expected = features[0:4] * 0.5 + features[8:12] * 2.0
+    print(f"status={code}  out={output}  expected={expected}")
+    assert np.allclose(output, expected)
+
+
+def full_layer_offload() -> None:
+    """Algorithm 5 across all 28 engines, checked against the oracle."""
+    print("\n== full-layer offload (Algorithm 5) ==")
+    graph = load_dataset("wikipedia", scale=0.08, seed=0)
+    h = synthetic_features(graph, 64, seed=0)
+    runner = DmaOffloadRunner(cache_scale=0.01)
+    a, _, report = runner.run_layer(graph, h, aggregator="gcn")
+    reference = aggregate(graph, h, "gcn")
+    print(f"graph |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"descriptors issued : {report.descriptors_issued}")
+    print(f"engine DRAM lines  : {report.engine_dram_lines}")
+    print(f"engine L3 hits     : {report.engine_l3_hits}")
+    print(f"simulated time     : {report.seconds * 1e3:.3f} ms")
+    print(f"max error vs oracle: {np.abs(a - reference).max():.2e}")
+    assert np.allclose(a, reference, atol=1e-3)
+
+    # Table 5: how many private-cache accesses did the offload save?
+    core_run = CoreAggregationSim(cache_scale=0.01).run(graph, 64)
+    l1_saved = 1 - report.core_l1_accesses / core_run.l1_accesses
+    l2_saved = 1 - report.core_l2_accesses / core_run.l2_accesses
+    print(f"L1 accesses avoided: {l1_saved:.1%} (paper Table 5: ~97-98%)")
+    print(f"L2 accesses avoided: {l2_saved:.1%} (paper Table 5: ~89-97%)")
+
+
+def main() -> None:
+    single_descriptor_demo()
+    full_layer_offload()
+    print("\nDMA demo OK")
+
+
+if __name__ == "__main__":
+    main()

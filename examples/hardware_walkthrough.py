@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Walk through the hardware side of Graphite, mechanism by mechanism.
+
+Four short acts:
+1. why hardware prefetchers cannot save the aggregation (stream coverage
+   on gather vs sequential traffic),
+2. the Figure 10 request schedule, event by event, on the paper's exact
+   example configuration,
+3. the tracking-table sweep (Figure 16's knee),
+4. the end-to-end DMA offload vs the core-executed run.
+
+Run:  python examples/hardware_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.dma import DmaOffloadRunner
+from repro.dma.timeline import figure10_example
+from repro.graphs import load_dataset, synthetic_features
+from repro.sim import CoreAggregationSim, StreamPrefetcher
+from repro.sim.trace import layout_for, vertex_trace
+
+
+def act1_prefetcher():
+    print("== act 1: hardware prefetchers vs the gather stream ==")
+    graph = load_dataset("products", scale=0.1, seed=0)
+    layout = layout_for(graph, 32)
+    gather, outputs = [], []
+    for v in range(graph.num_vertices):
+        gather.extend(vertex_trace(graph, layout, v).gather_lines)
+        outputs.extend(layout.output_lines(v))
+    g = StreamPrefetcher().run_trace(gather)
+    s = StreamPrefetcher().run_trace(outputs)
+    print(f"gather-phase coverage    : {g.coverage:6.1%}")
+    print(f"sequential-write coverage: {s.coverage:6.1%}")
+    print("-> streams cover the regular traffic, not the gathers; hence")
+    print("   software prefetch (S4.1) and, ultimately, the DMA engine (S5)\n")
+
+
+def act2_timeline():
+    print("== act 2: the Figure 10 request schedule ==")
+    timeline, jobs = figure10_example()
+    result = timeline.run(jobs)
+    for event in result.events[:12]:
+        print(f"  t={event.time:5.1f}  {event.kind:<15} {event.tag}")
+    print(f"  ... finishes at t={result.finish_time:.1f}; "
+          f"table peak {result.max_table_occupancy}/4, "
+          f"index buffer peak {result.max_index_buffer_occupancy}/2\n")
+
+
+def act3_tracking_table():
+    print("== act 3: tracking-table sweep (Figure 16) ==")
+    graph = load_dataset("wikipedia", scale=0.1, seed=0)
+    h = np.zeros((graph.num_vertices, 64), dtype=np.float32)
+    times = {}
+    for entries in (8, 16, 32, 64):
+        runner = DmaOffloadRunner(cache_scale=0.002, tracking_entries=entries)
+        _, _, report = runner.run_layer(graph, h)
+        times[entries] = report.cycles
+    for entries, cycles in times.items():
+        print(f"  {entries:>2} entries: {cycles / times[8]:.2f} (norm.)")
+    print("-> steep gains to 32 entries, then the DRAM interface limits —")
+    print("   the paper's sizing argument (S7.3.3)\n")
+
+
+def act4_offload():
+    print("== act 4: DMA offload vs core execution ==")
+    graph = load_dataset("products", scale=0.1, seed=0)
+    core = CoreAggregationSim(cache_scale=0.002).run(graph, 64)
+    h = np.zeros((graph.num_vertices, 64), dtype=np.float32)
+    _, _, dma = DmaOffloadRunner(cache_scale=0.002).run_layer(graph, h)
+    print(f"core run : {core.cycles:10.3g} cycles, "
+          f"L1 accesses {core.l1_accesses}")
+    print(f"DMA run  : {dma.cycles:10.3g} cycles, "
+          f"core L1 accesses {dma.core_l1_accesses} "
+          f"({1 - dma.core_l1_accesses / core.l1_accesses:.1%} avoided)")
+
+
+if __name__ == "__main__":
+    act1_prefetcher()
+    act2_timeline()
+    act3_tracking_table()
+    act4_offload()

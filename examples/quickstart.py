@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: load a dataset twin, train a GCN, run optimized inference.
+
+Covers the three things a new user does first:
+1. build/load a graph and features,
+2. train a full-batch GCN (the paper's headline workload — no sampling),
+3. run inference through an optimized Graphite kernel and check it
+   matches the plain layer bit-for-bit.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.graphs import graph_stats, load_dataset, synthetic_features
+from repro.kernels import FusedKernel, UpdateParams
+from repro.nn import Adam, Trainer, build_model, train_val_split
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A scaled twin of ogbn-products (Table 3 of the paper).
+    # ------------------------------------------------------------------
+    graph = load_dataset("products", scale=0.25, seed=0)
+    print("graph:", graph_stats(graph).as_row())
+
+    num_features, hidden, num_classes = 64, 64, 8
+    features = synthetic_features(graph, num_features, seed=0)
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, num_classes, graph.num_vertices)
+
+    # ------------------------------------------------------------------
+    # 2. Full-batch training: every epoch touches every vertex.
+    # ------------------------------------------------------------------
+    model = build_model(
+        "gcn", num_features, hidden, num_classes, num_layers=2, seed=0
+    )
+    train_mask, val_mask = train_val_split(graph.num_vertices, 0.6, seed=0)
+    trainer = Trainer(model, Adam(model, lr=0.01))
+    history = trainer.fit(
+        graph, features, labels, epochs=5,
+        train_mask=train_mask, val_mask=val_mask,
+    )
+    print(f"training: loss {history.epochs[0].loss:.3f} -> "
+          f"{history.final_loss:.3f} over {len(history.epochs)} epochs")
+
+    # ------------------------------------------------------------------
+    # 3. Inference through the fused Graphite kernel (Algorithm 2).
+    # ------------------------------------------------------------------
+    layer = model.layers[0]
+    params = UpdateParams(weight=layer.weight, bias=layer.bias, activation=True)
+    reference, _ = layer.forward(graph, features)
+
+    fused = FusedKernel(block_size=32)
+    h_out, a, stats = fused.run_layer(
+        graph, features, params, aggregator="gcn", keep_aggregation=False
+    )
+    assert a is None  # inference reuses one block buffer (Figure 5c)
+    max_err = float(np.abs(h_out - reference).max())
+    print(f"fused kernel: {stats.blocks} blocks, "
+          f"{stats.peak_buffer_bytes / 1024:.1f} KiB live buffer "
+          f"(vs {graph.num_vertices * num_features * 4 / 1024:.0f} KiB for "
+          f"the full aggregation matrix), max error {max_err:.2e}")
+    assert max_err < 1e-4
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+"""Published numbers from the paper's tables and figures.
+
+Transcribed from the ISCA 2022 paper; benchmarks print these next to the
+measured values so EXPERIMENTS.md can record paper-vs-measured for every
+artifact.
+"""
+
+from __future__ import annotations
+
+# Figure 2: sampled GraphSAGE training epoch on Titan V + 12-core CPU,
+# ogbn-products, seconds.
+FIG2_GPU_SAMPLING = {
+    1024: {"sampling": 53.7, "gnn": 7.0},
+    2048: {"sampling": 40.2, "gnn": 3.3},
+    4096: {"sampling": 29.1, "gnn": 1.8},
+}
+
+# Figure 3: pipeline-slot breakdown of full-batch GraphSAGE training (DGL).
+FIG3_TOPDOWN = {
+    "retiring": 0.101,
+    "frontend_bound": 0.033,
+    "core_bound": 0.236,
+    "memory_bound": 0.617,
+}
+
+# Table 3: dataset statistics.
+TAB3_DATASETS = {
+    "products": {"vertices": 2.45e6, "edges": 124e6, "mean_degree": 50.5,
+                 "max_degree": 17.5e3, "degree_variance": 9.20e3, "f_input": 100},
+    "wikipedia": {"vertices": 3.57e6, "edges": 45.0e6, "mean_degree": 12.6,
+                  "max_degree": 7.06e3, "degree_variance": 1.09e3, "f_input": 128},
+    "papers": {"vertices": 111e6, "edges": 1.62e9, "mean_degree": 14.5,
+               "max_degree": 26.7e3, "degree_variance": 927, "f_input": 256},
+    "twitter": {"vertices": 61.6e6, "edges": 1.47e9, "mean_degree": 23.8,
+                "max_degree": 3.00e6, "degree_variance": 3.96e6, "f_input": 256},
+}
+
+# Figure 11a: inference speedup over DistGNN (GCN / GraphSAGE per dataset).
+FIG11A_INFERENCE = {
+    "gcn": {
+        "products": {"mkl": 0.98, "basic": 1.02, "fusion": 1.18,
+                     "compression": 1.48, "combined": 1.72},
+        "wikipedia": {"mkl": 0.95, "basic": 1.11, "fusion": 1.56,
+                      "compression": 1.37, "combined": 1.85},
+        "papers": {"mkl": 0.98, "basic": 1.07, "fusion": 1.38,
+                   "compression": 1.45, "combined": 1.90},
+        "twitter": {"mkl": 0.89, "basic": 1.03, "fusion": 1.25,
+                    "compression": 1.43, "combined": 1.72},
+    },
+    "sage": {
+        "products": {"mkl": 0.98, "basic": 1.05, "fusion": 1.20,
+                     "compression": 1.52, "combined": 1.74},
+        "wikipedia": {"mkl": 0.95, "basic": 1.13, "fusion": 1.61,
+                      "compression": 1.40, "combined": 1.88},
+        "papers": {"mkl": 0.99, "basic": 1.08, "fusion": 1.41,
+                   "compression": 1.49, "combined": 1.94},
+        "twitter": {"mkl": 0.88, "basic": 1.06, "fusion": 1.27,
+                    "compression": 1.46, "combined": 1.75},
+    },
+}
+
+# Figure 11b: training speedup over DistGNN.
+FIG11B_TRAINING = {
+    "gcn": {
+        "products": {"mkl": 0.98, "basic": 1.02, "fusion": 1.11,
+                     "compression": 1.46, "combined": 1.58, "c-locality": 2.57},
+        "wikipedia": {"mkl": 0.96, "basic": 1.10, "fusion": 1.25,
+                      "compression": 1.31, "combined": 1.50, "c-locality": 1.80},
+        "papers": {"mkl": 0.98, "basic": 1.06, "fusion": 1.19,
+                   "compression": 1.40, "combined": 1.56, "c-locality": 1.83},
+        "twitter": {"mkl": 0.89, "basic": 1.03, "fusion": 1.12,
+                    "compression": 1.39, "combined": 1.50, "c-locality": 1.60},
+    },
+    "sage": {
+        "products": {"mkl": 0.98, "basic": 1.03, "fusion": 1.13,
+                     "compression": 1.48, "combined": 1.62, "c-locality": 2.64},
+        "wikipedia": {"mkl": 0.95, "basic": 1.11, "fusion": 1.27,
+                      "compression": 1.34, "combined": 1.54, "c-locality": 1.83},
+        "papers": {"mkl": 0.99, "basic": 1.09, "fusion": 1.22,
+                   "compression": 1.44, "combined": 1.60, "c-locality": 1.87},
+        "twitter": {"mkl": 0.89, "basic": 1.04, "fusion": 1.15,
+                    "compression": 1.42, "combined": 1.53, "c-locality": 1.63},
+    },
+}
+
+# Figure 12a: simulated inference speedup over DistGNN.
+FIG12A_DMA_INFERENCE = {
+    "gcn": {
+        "products": {"fusion": 1.25, "fusion+DMA": 1.63},
+        "wikipedia": {"fusion": 1.36, "fusion+DMA": 1.97},
+    },
+    "sage": {
+        "products": {"fusion": 1.26, "fusion+DMA": 1.63},
+        "wikipedia": {"fusion": 1.36, "fusion+DMA": 1.98},
+    },
+}
+
+# Figure 12b: simulated training speedup over DistGNN.
+FIG12B_DMA_TRAINING = {
+    "gcn": {
+        "products": {"fusion": 1.22, "fusion+DMA": 1.55,
+                     "fusion+locality": 2.38, "fusion+DMA+locality": 3.11},
+        "wikipedia": {"fusion": 1.25, "fusion+DMA": 1.70,
+                      "fusion+locality": 1.40, "fusion+DMA+locality": 1.89},
+    },
+    "sage": {
+        "products": {"fusion": 1.23, "fusion+DMA": 1.55,
+                     "fusion+locality": 2.39, "fusion+DMA+locality": 3.14},
+        "wikipedia": {"fusion": 1.24, "fusion+DMA": 1.69,
+                      "fusion+locality": 1.39, "fusion+DMA+locality": 1.90},
+    },
+}
+
+# Figure 13: normalized basic execution split and fused time, GCN hidden
+# layers (aggregation share, update share, fused-inference, fused-forward-
+# training — all normalized to basic = 1.0).
+FIG13_FUSION_BREAKDOWN = {
+    "products": {"aggregation": 0.93, "update": 0.07,
+                 "fused_inference": 0.87, "fused_training": 0.92},
+    "wikipedia": {"aggregation": 0.69, "update": 0.31,
+                  "fused_inference": 0.71, "fused_training": 0.86},
+    "papers": {"aggregation": 0.81, "update": 0.19,
+               "fused_inference": 0.78, "fused_training": 0.88},
+    "twitter": {"aggregation": 0.84, "update": 0.16,
+                "fused_inference": 0.83, "fused_training": 0.91},
+}
+
+# Figure 14: compression speedup over basic at feature sparsities.
+FIG14_COMPRESSION = {
+    "inference": {
+        "products": {0.1: 0.88, 0.3: 1.16, 0.5: 1.45, 0.7: 1.78, 0.9: 2.95},
+        "wikipedia": {0.1: 0.91, 0.3: 1.06, 0.5: 1.19, 0.7: 1.27, 0.9: 1.63},
+        "papers": {0.1: 0.93, 0.3: 1.16, 0.5: 1.38, 0.7: 1.61, 0.9: 2.29},
+        "twitter": {0.1: 0.87, 0.3: 1.14, 0.5: 1.38, 0.7: 1.61, 0.9: 2.40},
+    },
+    "training": {
+        "products": {0.1: 0.90, 0.3: 1.16, 0.5: 1.43, 0.7: 1.74, 0.9: 2.74},
+        "wikipedia": {0.1: 0.94, 0.3: 1.08, 0.5: 1.20, 0.7: 1.31, 0.9: 1.58},
+        "papers": {0.1: 0.95, 0.3: 1.14, 0.5: 1.31, 0.7: 1.51, 0.9: 2.00},
+        "twitter": {0.1: 0.90, 0.3: 1.14, 0.5: 1.34, 0.7: 1.56, 0.9: 2.16},
+    },
+}
+
+# Figure 15: speedup over the 5-run randomized average, GCN training.
+FIG15_LOCALITY = {
+    "products": {"combined": 1.01, "locality": 1.64},
+    "wikipedia": {"combined": 1.06, "locality": 1.27},
+    "papers": {"combined": 1.00, "locality": 1.17},
+    "twitter": {"combined": 1.13, "locality": 1.21},
+}
+
+# Figure 16: DMA-aggregation time on wikipedia vs tracking-table entries,
+# normalized to 8 entries.
+FIG16_TRACKING_TABLE = {8: 1.00, 16: 0.72, 32: 0.49, 64: 0.46}
+
+# Table 4: GCN training characterization (selected columns).
+TAB4_CHARACTERIZATION = {
+    "products": {
+        "distgnn": {"retiring": 0.098, "memory_bound": 0.752,
+                    "dram_bw": 0.788, "dram_lat": 0.053, "fill_full": 1.00},
+        "mkl": {"retiring": 0.112, "memory_bound": 0.718,
+                "dram_bw": 0.744, "dram_lat": 0.052, "fill_full": 1.00},
+        "combined": {"retiring": 0.188, "memory_bound": 0.581,
+                     "dram_bw": 0.628, "dram_lat": 0.134, "fill_full": 1.00},
+        "c-locality": {"retiring": 0.287, "memory_bound": 0.393,
+                       "dram_bw": 0.408, "dram_lat": 0.191, "fill_full": 0.313},
+    },
+    "wikipedia": {
+        "distgnn": {"retiring": 0.232, "memory_bound": 0.490,
+                    "dram_bw": 0.479, "dram_lat": 0.085, "fill_full": 1.00},
+        "mkl": {"retiring": 0.231, "memory_bound": 0.477,
+                "dram_bw": 0.454, "dram_lat": 0.100, "fill_full": 1.00},
+        "combined": {"retiring": 0.339, "memory_bound": 0.306,
+                     "dram_bw": 0.298, "dram_lat": 0.126, "fill_full": 0.427},
+        "c-locality": {"retiring": 0.341, "memory_bound": 0.303,
+                       "dram_bw": 0.283, "dram_lat": 0.096, "fill_full": 0.391},
+    },
+    "papers": {
+        "distgnn": {"retiring": 0.135, "memory_bound": 0.757,
+                    "dram_bw": 0.771, "dram_lat": 0.072, "fill_full": 1.00},
+        "mkl": {"retiring": 0.134, "memory_bound": 0.767,
+                "dram_bw": 0.771, "dram_lat": 0.070, "fill_full": 1.00},
+        "combined": {"retiring": 0.245, "memory_bound": 0.589,
+                     "dram_bw": 0.606, "dram_lat": 0.131, "fill_full": 1.00},
+        "c-locality": {"retiring": 0.289, "memory_bound": 0.520,
+                       "dram_bw": 0.534, "dram_lat": 0.153, "fill_full": 0.936},
+    },
+    "twitter": {
+        "distgnn": {"retiring": 0.124, "memory_bound": 0.772,
+                    "dram_bw": 0.791, "dram_lat": 0.075, "fill_full": 1.00},
+        "mkl": {"retiring": 0.123, "memory_bound": 0.788,
+                "dram_bw": 0.792, "dram_lat": 0.085, "fill_full": 1.00},
+        "combined": {"retiring": 0.192, "memory_bound": 0.643,
+                     "dram_bw": 0.673, "dram_lat": 0.167, "fill_full": 1.00},
+        "c-locality": {"retiring": 0.226, "memory_bound": 0.601,
+                       "dram_bw": 0.624, "dram_lat": 0.149, "fill_full": 1.00},
+    },
+}
+
+# Table 5: private-cache access reduction from the DMA engine.
+TAB5_CACHE_REDUCTION = {
+    "products": {"agg_only": {"l1": 0.98, "l2": 0.97},
+                 "fused": {"l1": 0.43, "l2": 0.36}},
+    "wikipedia": {"agg_only": {"l1": 0.97, "l2": 0.89},
+                  "fused": {"l1": 0.19, "l2": 0.12}},
+}
+
+# Section 7.3.2: memory-system improvements from the DMA engine.
+SEC732_MEMORY_SYSTEM = {
+    "products": {"l2_miss_before": 0.205, "l2_miss_after": 0.028,
+                 "stall_before": 0.581, "stall_after": 0.428},
+    "wikipedia": {"l2_miss_before": 0.455, "l2_miss_after": 0.028,
+                  "stall_before": 0.306, "stall_after": 0.257},
+}
+
+# Section 2.2: hidden-feature sparsity during a 3-layer GraphSAGE training.
+SEC22_SPARSITY = {
+    "layer2_relu": 0.60,  # >60% after ReLU
+    "layer2_dropout": 0.80,  # >80% after dropout
+    "layer3": 0.90,  # >90%
+}

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``datasets`` — print the Table-3 twin statistics.
+* ``speedup`` — Figure-11-style speedup column for one dataset.
+* ``characterize`` — the full Table-4 layout for one or more datasets.
+* ``train`` — full-batch training demo on a twin.
+* ``experiment`` — run one named paper artifact (fig2 ... tab5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .graphs import DATASET_NAMES, graph_stats, load_dataset, paper_row
+
+    for name in DATASET_NAMES:
+        stats = graph_stats(load_dataset(name, scale=args.scale))
+        vertices_m, edges_m, degree, f_input = paper_row(name)
+        print(stats.as_row())
+        print(
+            f"{'':<13}paper: |V|={vertices_m}M |E|={edges_m}M "
+            f"deg={degree} F_input={f_input}"
+        )
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from .graphs import input_feature_size, load_dataset
+    from .perf import CostModel, VARIANTS
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    model = CostModel(graph)
+    f_input = input_feature_size(args.dataset, 1.0)
+    mode = "training" if args.training else "inference"
+    print(
+        f"{args.dataset} (twin scale {args.scale}), {mode}, "
+        f"{args.sparsity:.0%} feature sparsity — speedup over distgnn:"
+    )
+    variants = [v for v in VARIANTS if v not in ("randomized", "f-locality")]
+    if not args.training:
+        variants = [v for v in variants if v != "c-locality"]
+    for variant in variants:
+        if variant == "distgnn":
+            continue
+        speedup = model.speedup(
+            variant, f_input, args.hidden,
+            training=args.training, sparsity=args.sparsity,
+        )
+        print(f"  {variant:<12} {speedup:5.2f}x")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .graphs import input_feature_size, load_dataset
+    from .perf.report import characterization_table
+
+    names = args.datasets or ["products"]
+    graphs = {name: load_dataset(name, scale=args.scale) for name in names}
+    f_input = {name: input_feature_size(name, 1.0) for name in names}
+    table = characterization_table(graphs, f_input, sparsity=args.sparsity)
+    print(table.render())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .graphs import load_dataset, synthetic_features
+    from .nn import Adam, Trainer, build_model
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    features = synthetic_features(graph, args.features, seed=args.seed)
+    labels = np.random.default_rng(args.seed).integers(
+        0, args.classes, graph.num_vertices
+    )
+    model = build_model(
+        args.model, args.features, args.hidden, args.classes,
+        num_layers=args.layers, dropout=args.dropout, seed=args.seed,
+    )
+    trainer = Trainer(model, Adam(model, lr=args.lr), profile_sparsity=True)
+    history = trainer.fit(graph, features, labels, epochs=args.epochs, verbose=True)
+    print("\nhidden-feature sparsity (Section 2.2):")
+    print(history.sparsity.summary())
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig2": ("fig2_gpu_sampling", True),
+    "fig3": ("fig3_topdown", True),
+    "tab3": ("tab3_datasets", True),
+    "fig11a": ("fig11_software_speedups", True),
+    "fig11b": ("fig11_software_speedups", True),
+    "fig13": ("fig13_fusion_breakdown", True),
+    "fig14": ("fig14_compression_sweep", True),
+    "fig15": ("fig15_locality", True),
+    "tab4": ("tab4_characterization", True),
+    "fig12a": ("fig12_dma_speedups", False),
+    "fig12b": ("fig12_dma_speedups", False),
+    "fig16": ("fig16_tracking_table", False),
+    "tab5": ("tab5_cache_reduction", False),
+    "sec732": ("sec732_memory_system", False),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .bench import figures
+
+    key = args.name
+    if key not in _EXPERIMENTS:
+        print(f"unknown experiment {key!r}; choose from {sorted(_EXPERIMENTS)}")
+        return 2
+    fn_name, takes_ctx = _EXPERIMENTS[key]
+    fn = getattr(figures, fn_name)
+    kwargs = {}
+    if key == "fig11b":
+        kwargs["training"] = True
+    if key == "fig12b":
+        kwargs["training"] = True
+    if key == "fig14":
+        kwargs["training"] = args.training
+    if takes_ctx:
+        experiment = fn(figures.BenchContext(scale=args.scale), **kwargs)
+    else:
+        experiment = fn(**kwargs)
+    print(experiment.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graphite (ISCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="Table-3 twin statistics")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("speedup", help="Figure-11 speedup column")
+    p.add_argument("dataset", choices=["products", "wikipedia", "papers", "twitter"])
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--sparsity", type=float, default=0.5)
+    p.add_argument("--training", action="store_true")
+    p.set_defaults(func=_cmd_speedup)
+
+    p = sub.add_parser("characterize", help="Table-4 characterization")
+    p.add_argument("datasets", nargs="*", default=None)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--sparsity", type=float, default=0.5)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("train", help="full-batch training demo")
+    p.add_argument("dataset", choices=["products", "wikipedia", "papers", "twitter"])
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--model", choices=["gcn", "sage"], default="gcn")
+    p.add_argument("--features", type=int, default=64)
+    p.add_argument("--hidden", type=int, default=64)
+    p.add_argument("--classes", type=int, default=8)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--dropout", type=float, default=0.0)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("experiment", help="run one paper artifact")
+    p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--training", action="store_true")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The Graphite DMA engine: descriptors, engine, and Algorithm-5 offload."""
+
+from .descriptor import (
+    DESCRIPTOR_BYTES,
+    AggregationDescriptor,
+    BinOp,
+    IdxType,
+    RedOp,
+    ValType,
+)
+from .extensions import (
+    AggressivePrefetchEstimate,
+    CompressedDmaEstimate,
+    aggressive_prefetch_estimate,
+    compressed_dma_estimate,
+)
+from .engine import (
+    ENGINE_ISSUE_CYCLES_PER_LINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    DmaAddressSpace,
+    DmaEngine,
+    DmaEngineStats,
+    DmaError,
+)
+from .offload import DmaOffloadRunner, DmaRunReport, GatherList
+from .timeline import (
+    DescriptorJob,
+    DmaRequestTimeline,
+    TimelineEvent,
+    TimelineResult,
+    figure10_example,
+)
+
+__all__ = [
+    "DESCRIPTOR_BYTES",
+    "AggregationDescriptor",
+    "BinOp",
+    "IdxType",
+    "RedOp",
+    "ValType",
+    "ENGINE_ISSUE_CYCLES_PER_LINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "DmaAddressSpace",
+    "DmaEngine",
+    "DmaEngineStats",
+    "DmaError",
+    "AggressivePrefetchEstimate",
+    "CompressedDmaEstimate",
+    "aggressive_prefetch_estimate",
+    "compressed_dma_estimate",
+    "DmaOffloadRunner",
+    "DmaRunReport",
+    "GatherList",
+    "DescriptorJob",
+    "DmaRequestTimeline",
+    "TimelineEvent",
+    "TimelineResult",
+    "figure10_example",
+]

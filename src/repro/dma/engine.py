@@ -1,0 +1,269 @@
+"""The enhanced per-core DMA engine — Section 5 of the paper.
+
+The engine sits next to L2 (Figure 7), takes 64-byte aggregation
+descriptors from a queue, and executes Algorithm 4: fetch the index
+slice, fetch the referenced input blocks, apply ``bin_op`` with the
+factor array (the ψ of Algorithm 1), reduce with ``red_op`` into the
+output buffer, write a completion record, and flush results into the
+issuing core's L2.
+
+Two planes again:
+
+* **Value plane** — :meth:`DmaEngine.execute` runs Algorithm 4 exactly
+  over a :class:`DmaAddressSpace`, honoring buffer capacities (an ``E``
+  larger than the output buffer is rejected — the software must split,
+  Section 5.2).
+* **Time plane** — :meth:`DmaEngine.fetch_lines` walks the line
+  addresses through the memory hierarchy with the private caches
+  bypassed (inputs are read-once) and prices the batch with the
+  tracking-table-limited parallelism law of Figure 10/16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf.machine import DmaConfig
+from ..sim.dram import DramModel
+from ..sim.hierarchy import MemoryHierarchy
+from .descriptor import AggregationDescriptor, BinOp, RedOp
+
+#: Engine issue overhead per line (no instruction stream to fight with).
+ENGINE_ISSUE_CYCLES_PER_LINE = 1.0
+
+#: Fraction of peak DRAM bandwidth the engines sustain collectively —
+#: dedicated request streams with deep queues approach the interface
+#: limit, unlike core-driven gathers (cf. CORE_GATHER_BW_EFFICIENCY).
+ENGINE_BW_EFFICIENCY = 0.97
+
+#: Completion-record values.
+STATUS_OK = 1
+STATUS_ERROR = 2
+
+
+class DmaError(RuntimeError):
+    """Raised when a descriptor violates an engine resource limit."""
+
+
+class DmaAddressSpace:
+    """Virtual address space backing the functional execution.
+
+    Registers flat numpy buffers at base addresses; ``resolve`` maps a
+    virtual address to (array, element offset).  This stands in for the
+    STLB translation path — the engine works in user virtual addresses
+    (Section 5).
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[Tuple[int, int, np.ndarray]] = []
+
+    def register(self, base: int, array: np.ndarray) -> None:
+        flat = array.reshape(-1)
+        end = base + flat.nbytes
+        for other_base, other_end, _ in self._regions:
+            if base < other_end and other_base < end:
+                raise ValueError(
+                    f"region [{base}, {end}) overlaps [{other_base}, {other_end})"
+                )
+        self._regions.append((base, end, flat))
+        self._regions.sort(key=lambda r: r[0])
+
+    def resolve(self, addr: int) -> Tuple[np.ndarray, int]:
+        for base, end, array in self._regions:
+            if base <= addr < end:
+                byte_off = addr - base
+                item = array.dtype.itemsize
+                if byte_off % item:
+                    raise ValueError(f"address {addr:#x} misaligned for {array.dtype}")
+                return array, byte_off // item
+        raise KeyError(f"address {addr:#x} maps to no registered region")
+
+
+@dataclass
+class DmaEngineStats:
+    """Counters for one engine."""
+
+    descriptors_completed: int = 0
+    descriptors_failed: int = 0
+    input_lines_fetched: int = 0
+    index_lines_fetched: int = 0
+    factor_lines_fetched: int = 0
+    l3_hits: int = 0
+    dram_lines: int = 0
+    output_lines_written: int = 0
+    reduce_ops: float = 0.0
+
+
+class DmaEngine:
+    """One per-core aggregation-capable DMA engine."""
+
+    def __init__(
+        self,
+        core: int,
+        config: Optional[DmaConfig] = None,
+        address_space: Optional[DmaAddressSpace] = None,
+    ) -> None:
+        self.core = core
+        self.config = config or DmaConfig()
+        self.address_space = address_space or DmaAddressSpace()
+        self.stats = DmaEngineStats()
+
+    # ------------------------------------------------------------------
+    # Value plane: Algorithm 4
+    # ------------------------------------------------------------------
+    def execute(self, descriptor: AggregationDescriptor) -> int:
+        """Run Algorithm 4 for one descriptor; returns the status code.
+
+        Raises :class:`DmaError` when the descriptor exceeds a hard
+        engine resource (output buffer capacity) — the condition the
+        software splitting of Section 5.2 exists to avoid.
+        """
+        cfg = self.config
+        if descriptor.output_bytes > cfg.output_buffer_bytes:
+            raise DmaError(
+                f"E={descriptor.num_values} elements "
+                f"({descriptor.output_bytes}B) exceeds the "
+                f"{cfg.output_buffer_bytes}B output buffer; split the "
+                "aggregation (Section 5.2)"
+            )
+        space = self.address_space
+        e = descriptor.num_values
+        stride = descriptor.padded_block_bytes // descriptor.val_type.bytes
+
+        # B_i = 0 (Line 1); MIN/MAX seed from the identity of the op.
+        if descriptor.red_op is RedOp.SUM:
+            buffer = np.zeros(e, dtype=np.float64)
+        elif descriptor.red_op is RedOp.MAX:
+            buffer = np.full(e, -np.inf)
+        else:
+            buffer = np.full(e, np.inf)
+
+        status_arr, status_off = space.resolve(descriptor.status_addr)
+        try:
+            in_arr, in_off = space.resolve(descriptor.in_addr)
+            factors = None
+            indices = np.empty(0, dtype=np.int64)
+            if descriptor.num_blocks > 0:
+                idx_arr, idx_off = space.resolve(descriptor.idx_addr)
+                indices = idx_arr[idx_off : idx_off + descriptor.num_blocks]
+                if descriptor.bin_op is not BinOp.NONE:
+                    factor_arr, factor_off = space.resolve(descriptor.factor_addr)
+                    factors = factor_arr[
+                        factor_off : factor_off + descriptor.num_blocks
+                    ]
+            for i in range(descriptor.num_blocks):  # Line 2
+                base = in_off + int(indices[i]) * stride
+                block = in_arr[base : base + e].astype(np.float64)  # Lines 3-4
+                if factors is not None:  # Line 5
+                    if descriptor.bin_op is BinOp.MUL:
+                        block = block * float(factors[i])
+                    else:
+                        block = block + float(factors[i])
+                if descriptor.red_op is RedOp.SUM:  # Line 6
+                    buffer += block
+                elif descriptor.red_op is RedOp.MAX:
+                    np.maximum(buffer, block, out=buffer)
+                else:
+                    np.minimum(buffer, block, out=buffer)
+                self.stats.reduce_ops += e
+        except (KeyError, ValueError, IndexError):
+            status_arr[status_off] = STATUS_ERROR  # abort (Line 7 failure)
+            self.stats.descriptors_failed += 1
+            return STATUS_ERROR
+
+        out_arr, out_off = space.resolve(descriptor.out_addr)
+        if descriptor.num_blocks == 0:
+            buffer = np.zeros(e, dtype=np.float64)
+        out_arr[out_off : out_off + e] = buffer.astype(out_arr.dtype)  # Lines 8-9
+        status_arr[status_off] = STATUS_OK  # Line 7
+        self.stats.descriptors_completed += 1
+        return STATUS_OK
+
+    # ------------------------------------------------------------------
+    # Time plane: Figure 10 request scheduling, batch law
+    # ------------------------------------------------------------------
+    def fetch_lines(
+        self,
+        hierarchy: MemoryHierarchy,
+        index_lines: List[int],
+        factor_lines: List[int],
+        input_lines: List[int],
+        output_lines: List[int],
+    ) -> Dict[str, float]:
+        """Walk one descriptor batch's lines through the hierarchy.
+
+        Inputs bypass the private caches (read-once by design) but can
+        hit the shared L3; outputs are installed into the core's L2 so
+        the subsequent update finds them hot (Section 5.2).  Returns the
+        line counts used by the batch timing law.
+        """
+        dram = 0
+        for group, counter in (
+            (index_lines, "index_lines_fetched"),
+            (factor_lines, "factor_lines_fetched"),
+            (input_lines, "input_lines_fetched"),
+        ):
+            for addr in group:
+                result = hierarchy.access(
+                    self.core, addr, write=False, bypass_private=True
+                )
+                setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+                if result.level == "DRAM":
+                    dram += 1
+                else:
+                    self.stats.l3_hits += 1
+        for addr in output_lines:
+            hierarchy.dma_install_output(self.core, addr)
+            self.stats.output_lines_written += 1
+        self.stats.dram_lines += dram
+        total = len(index_lines) + len(factor_lines) + len(input_lines)
+        return {"dram_lines": float(dram), "touched_lines": float(total)}
+
+    def batch_time_cycles(
+        self,
+        dram: DramModel,
+        dram_lines: float,
+        touched_lines: float,
+        tracking_entries: Optional[int] = None,
+        contention: int = 1,
+    ) -> float:
+        """Cycles to complete a batch with the tracking-table MLP limit.
+
+        The index-before-input dependence of Figure 10 costs one loaded
+        latency of serialization per batch; the rest pipelines at the
+        tracking-table width.  (The engine overlaps a second descriptor
+        when dependences would stall — Section 5.2 — which this batch-
+        level law already captures.)
+
+        ``contention`` is the number of engines sharing the DRAM
+        interface: each engine's bandwidth share shrinks accordingly,
+        and the loaded latency reflects the machine-wide utilization.
+        This is what makes Figure 16 flatten past 32 entries — beyond
+        the knee the per-engine bandwidth share, not the table, limits.
+        """
+        entries = (
+            self.config.tracking_table_entries
+            if tracking_entries is None
+            else tracking_entries
+        )
+        if entries <= 0:
+            raise ValueError("tracking table needs at least one entry")
+        if contention <= 0:
+            raise ValueError("contention must be positive")
+        bw_time = (
+            dram_lines
+            * dram.service_cycles_per_line
+            * contention
+            / ENGINE_BW_EFFICIENCY
+        )
+        time = max(bw_time, 1e-9)
+        for _ in range(3):
+            utilization = min(0.999, bw_time / max(time, 1e-9))
+            latency = dram.loaded_latency(utilization)
+            lat_time = dram_lines * latency / entries + latency
+            issue_time = touched_lines * ENGINE_ISSUE_CYCLES_PER_LINE
+            time = max(bw_time, lat_time, issue_time)
+        return time

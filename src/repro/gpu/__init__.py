@@ -1,0 +1,35 @@
+"""CPU-GPU sampled-training substrate for the Figure 2 motivation."""
+
+from .gpu_model import (
+    GPU_FLOPS,
+    GPU_US_PER_BATCH,
+    GpuEpochBreakdown,
+    PCIE_BYTES_PER_S,
+    SAMPLING_NS_PER_EDGE,
+    SAMPLING_US_PER_BATCH,
+    epoch_breakdown,
+)
+from .sampler import (
+    EpochSamplingStats,
+    LayerBlock,
+    MiniBatch,
+    iterate_minibatches,
+    sample_blocks,
+    sample_neighbors,
+)
+
+__all__ = [
+    "GPU_FLOPS",
+    "GPU_US_PER_BATCH",
+    "GpuEpochBreakdown",
+    "PCIE_BYTES_PER_S",
+    "SAMPLING_NS_PER_EDGE",
+    "SAMPLING_US_PER_BATCH",
+    "epoch_breakdown",
+    "EpochSamplingStats",
+    "LayerBlock",
+    "MiniBatch",
+    "iterate_minibatches",
+    "sample_blocks",
+    "sample_neighbors",
+]

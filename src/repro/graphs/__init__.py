@@ -1,0 +1,84 @@
+"""Graph substrate: CSR storage, generators, dataset twins, reordering."""
+
+from .csr import CSRGraph, GraphError
+from .datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    SPECS,
+    all_datasets,
+    hidden_feature_size,
+    input_feature_size,
+    load_dataset,
+    paper_row,
+    synthetic_features,
+)
+from .generators import (
+    chain_graph,
+    community_graph,
+    grid_graph,
+    planted_partition_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_graph,
+)
+from .io import load_edge_list, load_npz, parse_edge_list, save_npz
+from .partition import (
+    ScheduleReport,
+    balance_comparison,
+    chunk_boundaries,
+    dynamic_schedule,
+    static_schedule,
+    task_weights,
+)
+from .reorder import (
+    apply_order,
+    degree_sorted_order,
+    is_permutation,
+    locality_order,
+    natural_order,
+    randomized_order,
+)
+from .stats import GraphStats, degree_histogram, graph_stats, skew
+
+__all__ = [
+    "CSRGraph",
+    "GraphError",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "SPECS",
+    "all_datasets",
+    "hidden_feature_size",
+    "input_feature_size",
+    "load_dataset",
+    "paper_row",
+    "synthetic_features",
+    "chain_graph",
+    "community_graph",
+    "grid_graph",
+    "planted_partition_graph",
+    "power_law_graph",
+    "rmat_graph",
+    "star_graph",
+    "uniform_graph",
+    "load_edge_list",
+    "load_npz",
+    "parse_edge_list",
+    "save_npz",
+    "ScheduleReport",
+    "balance_comparison",
+    "chunk_boundaries",
+    "dynamic_schedule",
+    "static_schedule",
+    "task_weights",
+    "apply_order",
+    "degree_sorted_order",
+    "is_permutation",
+    "locality_order",
+    "natural_order",
+    "randomized_order",
+    "GraphStats",
+    "degree_histogram",
+    "graph_stats",
+    "skew",
+]

@@ -1,0 +1,62 @@
+"""Graph persistence: npz snapshots and edge-list text files."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path, indptr=graph.indptr, indices=graph.indices, name=np.str_(graph.name)
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        missing = {"indptr", "indices"} - set(data.files)
+        if missing:
+            raise GraphError(f"{path}: missing arrays {sorted(missing)}")
+        name = str(data["name"]) if "name" in data.files else "graph"
+        return CSRGraph(indptr=data["indptr"], indices=data["indices"], name=name)
+
+
+def parse_edge_list(text: str, name: str = "edgelist") -> CSRGraph:
+    """Parse a whitespace-separated ``dst src`` edge list.
+
+    Lines starting with ``#`` or ``%`` are comments.  Vertex count is
+    ``max id + 1``.
+    """
+    edges = []
+    max_id = -1
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line[0] in "#%":
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected 'dst src', got {line!r}")
+        try:
+            dst, src = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: non-integer vertex id") from exc
+        if dst < 0 or src < 0:
+            raise GraphError(f"line {lineno}: negative vertex id")
+        edges.append((dst, src))
+        max_id = max(max_id, dst, src)
+    return CSRGraph.from_edges(max_id + 1, edges, name=name)
+
+
+def load_edge_list(path: PathLike, name: str = "") -> CSRGraph:
+    """Read an edge-list file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    return parse_edge_list(text, name=name or os.path.basename(str(path)))

@@ -1,0 +1,108 @@
+"""Task partitioning and load-balance analysis — Section 4.1's motivation.
+
+"The processing time of a chunk correlates with the degrees of the
+vertices in it.  The degrees can vary significantly and sometimes follow
+a power law distribution.  To balance the load among threads, we
+schedule the parallel tasks with OpenMP's dynamic scheduler."
+
+This module quantifies that choice: it splits a vertex set into tasks of
+``T`` vertices, weighs each task by its gather work (sum of degrees + 1),
+and compares static thread assignment against a dynamic (greedy
+longest-processing-time-first) schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Per-thread work under one scheduling policy."""
+
+    policy: str
+    thread_work: np.ndarray
+
+    @property
+    def makespan(self) -> float:
+        return float(self.thread_work.max()) if len(self.thread_work) else 0.0
+
+    @property
+    def mean_work(self) -> float:
+        return float(self.thread_work.mean()) if len(self.thread_work) else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean — 1.0 is a perfectly balanced schedule."""
+        if self.mean_work == 0:
+            return 1.0
+        return self.makespan / self.mean_work
+
+
+def task_weights(
+    graph: CSRGraph, task_size: int, order: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Gather work (degree + 1 summed) of each T-vertex task."""
+    if task_size <= 0:
+        raise ValueError("task_size must be positive")
+    degs = graph.degrees()
+    if order is not None:
+        degs = degs[order]
+    work = degs + 1
+    n = graph.num_vertices
+    num_tasks = (n + task_size - 1) // task_size
+    weights = np.zeros(num_tasks, dtype=np.float64)
+    for task in range(num_tasks):
+        weights[task] = work[task * task_size : (task + 1) * task_size].sum()
+    return weights
+
+
+def static_schedule(weights: np.ndarray, threads: int) -> ScheduleReport:
+    """Round-robin task assignment (OpenMP static)."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    thread_work = np.zeros(threads)
+    for task, weight in enumerate(weights):
+        thread_work[task % threads] += weight
+    return ScheduleReport(policy="static", thread_work=thread_work)
+
+
+def dynamic_schedule(weights: np.ndarray, threads: int) -> ScheduleReport:
+    """Work-stealing-style dynamic assignment.
+
+    Models OpenMP's dynamic scheduler as a list scheduler: each thread
+    grabs the next task when it goes idle, which is equivalent to always
+    assigning the next task to the least-loaded thread.
+    """
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    thread_work = np.zeros(threads)
+    for weight in weights:
+        thread_work[int(np.argmin(thread_work))] += weight
+    return ScheduleReport(policy="dynamic", thread_work=thread_work)
+
+
+def balance_comparison(
+    graph: CSRGraph,
+    task_size: int = 64,
+    threads: int = 28,
+    order: Optional[np.ndarray] = None,
+) -> "tuple[ScheduleReport, ScheduleReport]":
+    """(static, dynamic) schedules of a graph's aggregation tasks."""
+    weights = task_weights(graph, task_size, order=order)
+    return static_schedule(weights, threads), dynamic_schedule(weights, threads)
+
+
+def chunk_boundaries(num_vertices: int, task_size: int) -> List[slice]:
+    """The T-vertex chunk slices of Algorithm 1's parallel loop."""
+    if task_size <= 0:
+        raise ValueError("task_size must be positive")
+    return [
+        slice(start, min(start + task_size, num_vertices))
+        for start in range(0, num_vertices, task_size)
+    ]

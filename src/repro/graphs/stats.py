@@ -1,0 +1,70 @@
+"""Degree statistics — the columns of Table 3 in the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One row of Table 3: |V|, |E|, mean/max/variance of degree."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    degree_variance: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<12} |V|={self.num_vertices:<9} |E|={self.num_edges:<10} "
+            f"deg={self.mean_degree:7.1f} max={self.max_degree:<8} "
+            f"var={self.degree_variance:.3g}"
+        )
+
+
+def graph_stats(graph: CSRGraph) -> GraphStats:
+    """Compute the Table-3 statistics for a graph."""
+    degs = graph.degrees()
+    if len(degs) == 0:
+        return GraphStats(graph.name, 0, 0, 0.0, 0, 0.0)
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        mean_degree=float(degs.mean()),
+        max_degree=int(degs.max()),
+        degree_variance=float(degs.var()),
+    )
+
+
+def degree_histogram(graph: CSRGraph, bins: int = 32) -> np.ndarray:
+    """Histogram of in-degrees (log-spaced bins above 1)."""
+    degs = graph.degrees()
+    if degs.max() <= 1:
+        return np.bincount(degs, minlength=2)
+    edges = np.unique(
+        np.concatenate(
+            [[0, 1], np.logspace(0, np.log10(degs.max() + 1), bins).astype(np.int64)]
+        )
+    )
+    hist, _ = np.histogram(degs, bins=edges)
+    return hist
+
+
+def skew(graph: CSRGraph) -> float:
+    """Coefficient of variation of the degree distribution.
+
+    The paper's locality optimization pays off most on skewed graphs
+    (products: mean degree 50.5, variance 9.2K).
+    """
+    degs = graph.degrees().astype(np.float64)
+    mean = degs.mean()
+    if mean == 0:
+        return 0.0
+    return float(degs.std() / mean)

@@ -1,0 +1,97 @@
+"""Algorithm 1: parallel vectorized aggregation with software prefetch.
+
+The paper's ``basic`` kernel:
+
+* output-parallelizes over chunks of ``T`` vertices (no synchronization —
+  each task owns a disjoint slice of ``a``),
+* dynamically schedules chunks to balance power-law degree skew,
+* issues a software prefetch for the vertex ``D`` positions ahead,
+  restricted to the first two cache lines of each feature vector because
+  the L1 fill buffers are usually full (Section 4.1),
+* runs a JIT-specialized inner kernel per layer spec.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .base import AggregationKernel, KernelStats, validate_inputs
+from .jit import JitKernelCache, KernelSpec
+
+#: Default task size T (vertices per parallel task).
+DEFAULT_TASK_SIZE = 64
+
+#: Default prefetch distance D (vertices ahead).
+DEFAULT_PREFETCH_DISTANCE = 4
+
+#: Cache lines prefetched per feature vector (Section 4.1: "we empirically
+#: choose to prefetch only the first two cache lines").
+PREFETCH_LINES_PER_VECTOR = 2
+
+
+class BasicKernel(AggregationKernel):
+    """The Graphite ``basic`` aggregation of Algorithm 1."""
+
+    def __init__(
+        self,
+        task_size: int = DEFAULT_TASK_SIZE,
+        prefetch_distance: int = DEFAULT_PREFETCH_DISTANCE,
+        jit_cache: Optional[JitKernelCache] = None,
+    ) -> None:
+        if task_size <= 0:
+            raise ValueError(f"task_size must be positive, got {task_size}")
+        if prefetch_distance < 0:
+            raise ValueError("prefetch_distance must be >= 0")
+        self.task_size = task_size
+        self.prefetch_distance = prefetch_distance
+        self.jit_cache = jit_cache or JitKernelCache()
+
+    name = "basic"
+
+    def aggregate(
+        self,
+        graph: CSRGraph,
+        h: np.ndarray,
+        aggregator: str = "gcn",
+        order: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, KernelStats]:
+        """Aggregate all vertices, optionally in a custom processing order.
+
+        ``order`` is the Section 4.4 hook: kernels walk ``order`` while the
+        output stays indexed by original vertex id.
+        """
+        validate_inputs(graph, h)
+        n = graph.num_vertices
+        if order is None:
+            order = np.arange(n, dtype=np.int64)
+        if len(order) != n:
+            raise ValueError("order must cover every vertex exactly once")
+
+        compiled_before = self.jit_cache.compilations
+        inner = self.jit_cache.specialize(
+            graph, KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
+        )
+        out = np.empty_like(h, dtype=np.float32)
+        stats = KernelStats()
+        stats.jit_compilations = self.jit_cache.compilations - compiled_before
+
+        degs = graph.degrees()
+        for task_start in range(0, n, self.task_size):
+            stats.tasks += 1
+            task_end = min(task_start + self.task_size, n)
+            for pos in range(task_start, task_end):
+                v = int(order[pos])
+                out[v] = inner(h, v)
+                stats.gathers += int(degs[v]) + 1
+                # Prefetch the first lines of the vertex D ahead (Line 9).
+                ahead = pos + self.prefetch_distance
+                if self.prefetch_distance and ahead < n:
+                    v_ahead = int(order[ahead])
+                    stats.prefetches += (
+                        (int(degs[v_ahead]) + 1) * PREFETCH_LINES_PER_VECTOR
+                    )
+        stats.flops = 2.0 * stats.gathers * h.shape[1]
+        return out, stats

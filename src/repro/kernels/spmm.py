@@ -1,0 +1,52 @@
+"""The MKL baseline: SpMM aggregation + GEMM update (Section 6).
+
+The linear aggregators of Table 2 factor as ``a = Â h`` with Â the
+ψ-scaled self-loop-augmented adjacency, so MKL's sparse-dense matrix
+multiply computes the whole aggregation in one call.  The paper finds
+this slightly *slower* than DistGNN (Figure 11: 0.88-0.99x) — SpMM
+libraries pay an extra CSR traversal pass and lack the gather-specific
+prefetch tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..nn.aggregate import normalized_adjacency
+from .base import AggregationKernel, KernelStats, UpdateParams, validate_inputs
+
+
+class SpMMKernel(AggregationKernel):
+    """MKL-style aggregation: one sparse-dense matrix product."""
+
+    name = "mkl"
+
+    def aggregate(
+        self, graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn"
+    ) -> Tuple[np.ndarray, KernelStats]:
+        validate_inputs(graph, h)
+        a_hat = normalized_adjacency(graph, aggregator)
+        out = (a_hat @ h).astype(np.float32)
+        stats = KernelStats(
+            gathers=graph.num_edges + graph.num_vertices,
+            flops=2.0 * (graph.num_edges + graph.num_vertices) * h.shape[1],
+            tasks=1,
+        )
+        return out, stats
+
+
+def spmm_layer(
+    graph: CSRGraph,
+    h: np.ndarray,
+    params: UpdateParams,
+    aggregator: str = "gcn",
+) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+    """Unfused MKL layer: SpMM aggregation then one large GEMM update."""
+    kernel = SpMMKernel()
+    a, stats = kernel.aggregate(graph, h, aggregator)
+    h_out = params.apply(a)
+    stats.flops += 2.0 * a.shape[0] * params.weight.shape[0] * params.weight.shape[1]
+    return h_out, a, stats

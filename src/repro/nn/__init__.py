@@ -1,0 +1,66 @@
+"""GNN numerics: layers, models, optimizers, full-batch training."""
+
+from .aggregate import (
+    AGGREGATORS,
+    aggregate,
+    aggregate_backward,
+    gather_reduce_reference,
+    normalization_factors,
+    normalized_adjacency,
+)
+from .functional import (
+    accuracy,
+    cross_entropy,
+    dropout,
+    dropout_grad,
+    relu,
+    relu_grad,
+    softmax,
+    xavier_uniform,
+)
+from .layers import GNNLayer, LayerCache, LayerGrads, gcn_layer, sage_layer
+from .minibatch import MiniBatchStep, MiniBatchTrainer, block_aggregate
+from .model import GNNModel, build_model
+from .optim import Adam, Optimizer, SGD
+from .training import (
+    EpochResult,
+    Trainer,
+    TrainingHistory,
+    inference,
+    train_val_split,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "aggregate",
+    "aggregate_backward",
+    "gather_reduce_reference",
+    "normalization_factors",
+    "normalized_adjacency",
+    "accuracy",
+    "cross_entropy",
+    "dropout",
+    "dropout_grad",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "xavier_uniform",
+    "GNNLayer",
+    "LayerCache",
+    "LayerGrads",
+    "gcn_layer",
+    "sage_layer",
+    "GNNModel",
+    "MiniBatchStep",
+    "MiniBatchTrainer",
+    "block_aggregate",
+    "build_model",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "EpochResult",
+    "Trainer",
+    "TrainingHistory",
+    "inference",
+    "train_val_split",
+]

@@ -1,0 +1,127 @@
+"""Reference aggregation numerics — Eq. 1 and Table 2 of the paper.
+
+Both evaluated models reduce each vertex's neighborhood (including the
+vertex itself) with a per-neighbor scale factor ψ:
+
+* GCN:        a_v = Σ  h_u / sqrt(D̂_v · D̂_u)   over u ∈ N(v) ∪ {v}
+* SAGE-mean:  a_v = Σ  h_u / (D_v + 1)          over u ∈ N(v) ∪ {v}
+
+where ``D̂ = D + 1`` counts the self edge so isolated vertices stay
+well-defined (the standard renormalization-trick reading of Table 2).
+
+These routines are the *value plane* oracle: every optimized kernel in
+:mod:`repro.kernels` must reproduce their output bit-for-bit up to fp32
+reduction-order noise.  They also expose the factor arrays that the DMA
+engine's ``FACTOR`` descriptor field consumes (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import CSRGraph
+
+#: Aggregators the library (and the DMA engine's bin_op/red_op) support.
+AGGREGATORS = ("gcn", "mean", "sum", "max")
+
+
+def normalization_factors(graph: CSRGraph, aggregator: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge and per-self factor arrays for an aggregator.
+
+    Returns:
+        (edge_factors, self_factors): ``edge_factors`` is aligned with
+        ``graph.indices`` (one scale per gathered neighbor, the layout the
+        DMA ``FACTOR`` pointer expects — Figure 9b), ``self_factors`` has
+        one scale per vertex for the implicit self edge.
+    """
+    degs = graph.degrees().astype(np.float64)
+    d_hat = degs + 1.0
+    dst = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
+    if aggregator == "gcn":
+        edge = 1.0 / np.sqrt(d_hat[dst] * d_hat[graph.indices])
+        self_f = 1.0 / d_hat
+    elif aggregator == "mean":
+        edge = 1.0 / d_hat[dst]
+        self_f = 1.0 / d_hat
+    elif aggregator in ("sum", "max"):
+        edge = np.ones(graph.num_edges, dtype=np.float64)
+        self_f = np.ones(graph.num_vertices, dtype=np.float64)
+    else:
+        raise ValueError(f"unknown aggregator {aggregator!r}; choose from {AGGREGATORS}")
+    return edge.astype(np.float32), self_f.astype(np.float32)
+
+
+def normalized_adjacency(graph: CSRGraph, aggregator: str) -> sp.csr_matrix:
+    """Â = the (self-loop augmented, ψ-scaled) adjacency as scipy CSR.
+
+    ``aggregate(...) == Â @ h`` for the linear aggregators — this is the
+    SpMM formulation the MKL baseline uses (Section 6).
+    """
+    edge, self_f = normalization_factors(graph, aggregator)
+    n = graph.num_vertices
+    adj = sp.csr_matrix(
+        (edge, graph.indices.astype(np.int64), graph.indptr.astype(np.int64)),
+        shape=(n, n),
+    )
+    return (adj + sp.diags(self_f)).tocsr()
+
+
+def aggregate(graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn") -> np.ndarray:
+    """Eq. 1 — the reference aggregation.
+
+    Linear aggregators go through the SpMM formulation; ``max`` falls back
+    to an explicit loop (it is not expressible as a matrix product).
+    """
+    if h.shape[0] != graph.num_vertices:
+        raise ValueError(
+            f"feature rows {h.shape[0]} != num_vertices {graph.num_vertices}"
+        )
+    if aggregator == "max":
+        return _aggregate_max(graph, h)
+    a_hat = normalized_adjacency(graph, aggregator)
+    return (a_hat @ h).astype(np.float32)
+
+
+def aggregate_backward(
+    graph: CSRGraph, grad_a: np.ndarray, aggregator: str = "gcn"
+) -> np.ndarray:
+    """Gradient of the linear aggregation w.r.t. the input features.
+
+    ``a = Â h`` implies ``dL/dh = Â^T dL/da``.
+    """
+    if aggregator == "max":
+        raise NotImplementedError("max aggregation has no linear backward")
+    a_hat = normalized_adjacency(graph, aggregator)
+    return (a_hat.T @ grad_a).astype(np.float32)
+
+
+def _aggregate_max(graph: CSRGraph, h: np.ndarray) -> np.ndarray:
+    """Element-wise max over N(v) ∪ {v} — supported by red_op=max."""
+    out = h.copy()
+    for v in range(graph.num_vertices):
+        row = graph.neighbors(v)
+        if len(row):
+            out[v] = np.maximum(h[row].max(axis=0), h[v])
+    return out.astype(np.float32)
+
+
+def gather_reduce_reference(
+    graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn"
+) -> np.ndarray:
+    """Scalar-loop aggregation mirroring Algorithm 1's data flow exactly.
+
+    Slower than :func:`aggregate` but structured like the kernels: per
+    vertex, gather each neighbor row, scale by ψ, reduce.  Used in tests as
+    an independent second oracle.
+    """
+    edge, self_f = normalization_factors(graph, aggregator)
+    out = np.zeros_like(h, dtype=np.float64)
+    for v in range(graph.num_vertices):
+        start, end = graph.indptr[v], graph.indptr[v + 1]
+        for pos in range(start, end):
+            out[v] += h[graph.indices[pos]].astype(np.float64) * edge[pos]
+        out[v] += h[v].astype(np.float64) * self_f[v]
+    return out.astype(np.float32)

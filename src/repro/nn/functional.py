@@ -1,0 +1,108 @@
+"""Elementwise and loss functions with explicit backward passes.
+
+The update phase of both GCN and GraphSAGE is ``ReLU(W a + b)``
+(Table 2); training adds dropout, softmax and cross-entropy.  Everything
+is fp32 numpy with hand-written gradients so the whole training loop stays
+dependency-free and inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """max(x, 0) — the source of hidden-feature sparsity (Section 2.2)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """d relu(x)/dx * grad_out, using the pre-activation ``x``."""
+    return np.where(x > 0, grad_out, 0.0)
+
+
+def dropout(
+    x: np.ndarray, rate: float, rng: np.random.Generator, training: bool = True
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Inverted dropout.
+
+    Returns (output, mask); mask is None in eval mode.  In training a
+    fraction ``rate`` of elements is zeroed and survivors are scaled by
+    ``1/(1-rate)``; the zeros are what feature compression later exploits.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x, None
+    keep = rng.random(x.shape) >= rate
+    scale = 1.0 / (1.0 - rate)
+    return (x * keep * scale).astype(x.dtype), keep
+
+
+def dropout_grad(grad_out: np.ndarray, mask: Optional[np.ndarray], rate: float) -> np.ndarray:
+    """Backward of inverted dropout."""
+    if mask is None or rate == 0.0:
+        return grad_out
+    return (grad_out * mask / (1.0 - rate)).astype(grad_out.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: (N, C) raw scores.
+        labels: (N,) int class ids.
+        mask: optional boolean (N,) restricting the loss to training
+            vertices (standard semi-supervised node classification).
+
+    Returns:
+        (loss, grad) where grad has the logits' shape.
+    """
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    probs = softmax(logits.astype(np.float64))
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("loss mask selects no vertices")
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.clip(picked[mask], 1e-12, None)).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad[~mask] = 0.0
+    grad /= count
+    return loss, grad.astype(np.float32)
+
+
+def accuracy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Classification accuracy over (optionally masked) vertices."""
+    pred = logits.argmax(axis=1)
+    correct = pred == labels
+    if mask is not None:
+        correct = correct[mask]
+    if correct.size == 0:
+        return 0.0
+    return float(correct.mean())
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier initialization for the update weight matrices."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(np.float32)

@@ -1,0 +1,144 @@
+"""GNN layers: aggregation phase + update phase, forward and backward.
+
+A layer computes ``h_k = ReLU(W_k a_k + b_k)`` where ``a_k`` is the
+aggregation of ``h_{k-1}`` (Eqs. 1-2, Table 2).  The backward pass
+"computes the gradients of h_{k-1}, a_k, W_k, and b_k; it has one more
+GEMM than the forward propagation" (Section 7.1.1) — visible below as the
+two GEMMs in :meth:`GNNLayer.backward` versus one in ``forward``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from . import functional as F
+from .aggregate import aggregate, aggregate_backward
+
+
+@dataclass
+class LayerCache:
+    """Intermediates stashed by forward for use in backward.
+
+    ``a`` is the full aggregation feature matrix — the reason training
+    cannot use the fused inference buffer trick of Figure 5c.
+    """
+
+    h_in: np.ndarray
+    a: np.ndarray
+    pre_activation: np.ndarray
+    dropout_mask: Optional[np.ndarray] = None
+
+
+@dataclass
+class LayerGrads:
+    """Parameter and input gradients produced by one backward call."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    h_in: np.ndarray
+
+
+class GNNLayer:
+    """One GCN or GraphSAGE layer.
+
+    Args:
+        in_features: length of the input feature vectors.
+        out_features: length of the output feature vectors.
+        aggregator: ``"gcn"`` or ``"mean"`` (Table 2).
+        activation: apply ReLU after the FC update (both paper models do;
+            the final classification layer typically does not).
+        dropout: input-feature dropout rate applied in training.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        aggregator: str = "gcn",
+        activation: bool = True,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if aggregator not in ("gcn", "mean"):
+            raise ValueError(
+                f"aggregator must be one of ('gcn', 'mean'), got {aggregator!r}"
+            )
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.aggregator = aggregator
+        self.activation = activation
+        self.dropout = dropout
+        rng = np.random.default_rng(seed)
+        self.weight = F.xavier_uniform(in_features, out_features, rng)
+        self.bias = np.zeros(out_features, dtype=np.float32)
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, graph: CSRGraph, h_in: np.ndarray, training: bool = False
+    ) -> "tuple[np.ndarray, LayerCache]":
+        """Aggregation then update; returns (h_out, cache)."""
+        if h_in.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} input features, got {h_in.shape[1]}"
+            )
+        h_dropped, mask = F.dropout(h_in, self.dropout, self._rng, training=training)
+        a = aggregate(graph, h_dropped, self.aggregator)
+        pre = a @ self.weight + self.bias
+        h_out = F.relu(pre) if self.activation else pre
+        cache = LayerCache(
+            h_in=h_dropped, a=a, pre_activation=pre, dropout_mask=mask
+        )
+        return h_out.astype(np.float32), cache
+
+    def backward(
+        self, graph: CSRGraph, grad_out: np.ndarray, cache: LayerCache
+    ) -> LayerGrads:
+        """Chain rule through update then aggregation."""
+        grad_pre = (
+            F.relu_grad(cache.pre_activation, grad_out)
+            if self.activation
+            else grad_out
+        )
+        grad_w = cache.a.T @ grad_pre
+        grad_b = grad_pre.sum(axis=0)
+        grad_a = grad_pre @ self.weight.T  # the extra GEMM of Section 7.1.1
+        grad_h = aggregate_backward(graph, grad_a, self.aggregator)
+        grad_h = F.dropout_grad(grad_h, cache.dropout_mask, self.dropout)
+        return LayerGrads(
+            weight=grad_w.astype(np.float32),
+            bias=grad_b.astype(np.float32),
+            h_in=grad_h.astype(np.float32),
+        )
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def apply_grads(self, grads: LayerGrads, lr: float) -> None:
+        """Plain SGD step (optimizers in :mod:`repro.nn.optim` wrap this)."""
+        self.weight -= lr * grads.weight
+        self.bias -= lr * grads.bias
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GNNLayer({self.in_features}->{self.out_features}, "
+            f"agg={self.aggregator}, relu={self.activation}, "
+            f"dropout={self.dropout})"
+        )
+
+
+def gcn_layer(in_features: int, out_features: int, **kwargs) -> GNNLayer:
+    """Convenience constructor for a GCN layer (Table 2, row 1)."""
+    return GNNLayer(in_features, out_features, aggregator="gcn", **kwargs)
+
+
+def sage_layer(in_features: int, out_features: int, **kwargs) -> GNNLayer:
+    """Convenience constructor for a GraphSAGE-mean layer (Table 2, row 2)."""
+    return GNNLayer(in_features, out_features, aggregator="mean", **kwargs)

@@ -1,0 +1,115 @@
+"""Multi-layer GNN models — GCN and GraphSAGE stacks.
+
+A K-layer model makes every vertex's output a function of its K-hop
+neighborhood (Section 2.1).  The paper evaluates 2- and 3-layer GCN and
+GraphSAGE models with hidden width 256; :func:`build_model` constructs
+either with arbitrary widths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .layers import GNNLayer, LayerCache, LayerGrads
+
+
+class GNNModel:
+    """A stack of :class:`GNNLayer` with full forward/backward."""
+
+    def __init__(self, layers: Sequence[GNNLayer]) -> None:
+        if not layers:
+            raise ValueError("model needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ValueError(
+                    f"layer width mismatch: {prev.out_features} -> {nxt.in_features}"
+                )
+        self.layers: List[GNNLayer] = list(layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, graph: CSRGraph, features: np.ndarray, training: bool = False
+    ) -> Tuple[np.ndarray, List[LayerCache]]:
+        """Full forward pass; returns logits and per-layer caches."""
+        h = features
+        caches: List[LayerCache] = []
+        for layer in self.layers:
+            h, cache = layer.forward(graph, h, training=training)
+            caches.append(cache)
+        return h, caches
+
+    def backward(
+        self, graph: CSRGraph, grad_logits: np.ndarray, caches: List[LayerCache]
+    ) -> List[LayerGrads]:
+        """Full backward pass; returns grads aligned with ``self.layers``."""
+        if len(caches) != self.num_layers:
+            raise ValueError("cache count does not match layer count")
+        grads: List[Optional[LayerGrads]] = [None] * self.num_layers
+        grad = grad_logits
+        for idx in range(self.num_layers - 1, -1, -1):
+            layer_grads = self.layers[idx].backward(graph, grad, caches[idx])
+            grads[idx] = layer_grads
+            grad = layer_grads.h_in
+        return grads  # type: ignore[return-value]
+
+    def predict(self, graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+        """Inference-mode logits (no dropout, caches discarded)."""
+        logits, _ = self.forward(graph, features, training=False)
+        return logits
+
+    # ------------------------------------------------------------------
+    def parameters(self):
+        """Flat list of (layer_idx, name, array) for optimizers."""
+        out = []
+        for idx, layer in enumerate(self.layers):
+            for name, arr in layer.parameters().items():
+                out.append((idx, name, arr))
+        return out
+
+    def hidden_widths(self) -> List[int]:
+        return [layer.out_features for layer in self.layers]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"GNNModel([{inner}])"
+
+
+def build_model(
+    model_type: str,
+    in_features: int,
+    hidden_features: int,
+    num_classes: int,
+    num_layers: int = 2,
+    dropout: float = 0.0,
+    seed: int = 0,
+) -> GNNModel:
+    """Construct a GCN or GraphSAGE model like the paper's (Section 6).
+
+    All layers but the last apply ReLU; hidden layers share the width.
+    """
+    if model_type not in ("gcn", "sage"):
+        raise ValueError(f"model_type must be 'gcn' or 'sage', got {model_type!r}")
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    aggregator = "gcn" if model_type == "gcn" else "mean"
+    widths = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+    layers = []
+    for k in range(num_layers):
+        layers.append(
+            GNNLayer(
+                widths[k],
+                widths[k + 1],
+                aggregator=aggregator,
+                activation=(k < num_layers - 1),
+                dropout=dropout if k > 0 else 0.0,
+                seed=seed + k,
+            )
+        )
+    return GNNModel(layers)

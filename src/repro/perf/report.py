@@ -1,0 +1,82 @@
+"""Paper-style characterization reports — the full Table 4 layout.
+
+Renders the top-down breakdowns of :mod:`repro.perf.topdown` in the
+paper's table format: one row per (graph, implementation) with the
+retiring / memory-bound slot shares and the L2 / L3 / DRAM-bandwidth /
+DRAM-latency / fill-buffer cycle fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..graphs.csr import CSRGraph
+from .cost_model import CostModel
+from .topdown import TopdownReport, characterize
+
+TABLE4_VARIANTS = ("distgnn", "mkl", "combined", "c-locality")
+
+_COLUMNS = (
+    ("Retiring", "retiring"),
+    ("MemBound", "memory_bound"),
+    ("L2", "l2_bound"),
+    ("L3", "l3_bound"),
+    ("DRAM-BW", "dram_bandwidth_bound"),
+    ("DRAM-Lat", "dram_latency_bound"),
+    ("FillBufFull", "fill_buffer_full"),
+)
+
+
+@dataclass
+class CharacterizationTable:
+    """Table 4 for a set of graphs: rows keyed by (graph, variant)."""
+
+    rows: Dict[str, Dict[str, TopdownReport]]
+
+    def report(self, graph: str, variant: str) -> TopdownReport:
+        return self.rows[graph][variant]
+
+    def render(self) -> str:
+        header = f"{'Graph':<11} {'Implementation':<14}" + "".join(
+            f" {title:>11}" for title, _ in _COLUMNS
+        )
+        lines = [header, "-" * len(header)]
+        for graph, variants in self.rows.items():
+            for variant, report in variants.items():
+                cells = "".join(
+                    f" {getattr(report, attr):>11.1%}" for _, attr in _COLUMNS
+                )
+                lines.append(f"{graph:<11} {variant:<14}{cells}")
+        return "\n".join(lines)
+
+    def improvement(self, graph: str, metric: str = "retiring") -> float:
+        """c-locality's gain over distgnn on one metric."""
+        base = getattr(self.rows[graph]["distgnn"], metric)
+        best = getattr(self.rows[graph]["c-locality"], metric)
+        if base == 0:
+            return float("inf")
+        return best / base
+
+
+def characterization_table(
+    graphs: Dict[str, CSRGraph],
+    f_input: Dict[str, int],
+    f_hidden: int = 256,
+    variants: Sequence[str] = TABLE4_VARIANTS,
+    sparsity: float = 0.5,
+    training: bool = True,
+    cost_models: Optional[Dict[str, CostModel]] = None,
+) -> CharacterizationTable:
+    """Build the Table-4 characterization for the given twins."""
+    rows: Dict[str, Dict[str, TopdownReport]] = {}
+    for name, graph in graphs.items():
+        model = (cost_models or {}).get(name) or CostModel(graph)
+        rows[name] = {
+            variant: characterize(
+                model, variant, f_input[name], f_hidden,
+                training=training, sparsity=sparsity,
+            )
+            for variant in variants
+        }
+    return CharacterizationTable(rows=rows)

@@ -1,0 +1,48 @@
+"""Trace-driven hardware simulation: caches, DRAM, core-side aggregation."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .core_sim import (
+    CORE_EFFECTIVE_MLP,
+    CORE_ISSUE_CYCLES_PER_LINE,
+    CoreAggregationSim,
+    SimReport,
+    multicore_service_time,
+)
+from .dram import DramModel, DramStats, batch_service_time
+from .noc import MeshNoc
+from .prefetcher import PrefetchStats, StreamPrefetcher, gather_trace_coverage
+from .hierarchy import (
+    AccessResult,
+    L1_LATENCY,
+    L2_LATENCY,
+    L3_LATENCY,
+    MemoryHierarchy,
+)
+from .trace import MemoryLayout, VertexTrace, iter_traces, layout_for, vertex_trace
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "CORE_EFFECTIVE_MLP",
+    "CORE_ISSUE_CYCLES_PER_LINE",
+    "CoreAggregationSim",
+    "SimReport",
+    "multicore_service_time",
+    "DramModel",
+    "DramStats",
+    "batch_service_time",
+    "AccessResult",
+    "L1_LATENCY",
+    "L2_LATENCY",
+    "L3_LATENCY",
+    "MemoryHierarchy",
+    "MeshNoc",
+    "PrefetchStats",
+    "StreamPrefetcher",
+    "gather_trace_coverage",
+    "MemoryLayout",
+    "VertexTrace",
+    "iter_traces",
+    "layout_for",
+    "vertex_trace",
+]

@@ -1,0 +1,43 @@
+"""Feature-tensor utilities: mask compression and sparsity tracking."""
+
+from .compression import (
+    MASK_BITS_PER_ELEMENT,
+    VECTOR_LANES,
+    CompressedMatrix,
+    CompressedVector,
+    compress,
+    compress_matrix,
+    decompress,
+    decompress_matrix,
+    decompress_row,
+    measured_traffic_ratio,
+    traffic_ratio,
+    traffic_saved,
+)
+from .sparsity import (
+    SparsityProfile,
+    combined_sparsity,
+    inject_sparsity,
+    relu_sparsity_estimate,
+    sparsity,
+)
+
+__all__ = [
+    "MASK_BITS_PER_ELEMENT",
+    "VECTOR_LANES",
+    "CompressedMatrix",
+    "CompressedVector",
+    "compress",
+    "compress_matrix",
+    "decompress",
+    "decompress_matrix",
+    "decompress_row",
+    "measured_traffic_ratio",
+    "traffic_ratio",
+    "traffic_saved",
+    "SparsityProfile",
+    "combined_sparsity",
+    "inject_sparsity",
+    "relu_sparsity_estimate",
+    "sparsity",
+]

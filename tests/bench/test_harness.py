@@ -1,0 +1,80 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import Experiment, ResultRow, geometric_mean, render_all
+
+
+class TestResultRow:
+    def test_ratio(self):
+        row = ResultRow("x", measured=1.5, paper=1.0)
+        assert row.ratio == 1.5
+
+    def test_ratio_without_paper(self):
+        assert ResultRow("x", 1.5).ratio is None
+
+    def test_format_includes_paper(self):
+        text = ResultRow("speedup", 1.5, paper=1.6).format()
+        assert "1.500" in text
+        assert "1.600" in text
+
+
+class TestExperiment:
+    def test_add_and_render(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.0, 1.1)
+        exp.add("b", 2.0)
+        exp.note("a note")
+        text = exp.render()
+        assert "fig0" in text
+        assert "a note" in text
+
+    def test_shape_holds(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("small", 1.0)
+        exp.add("big", 2.0)
+        assert exp.shape_holds(["small", "big"])
+        assert not exp.shape_holds(["big", "small"])
+
+    def test_shape_tolerance(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.00)
+        exp.add("b", 0.98)
+        assert not exp.shape_holds(["a", "b"])
+        assert exp.shape_holds(["a", "b"], tolerance=0.05)
+
+    def test_shape_missing_row(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.0)
+        with pytest.raises(KeyError):
+            exp.shape_holds(["a", "missing"])
+
+    def test_max_paper_deviation(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.1, paper=1.0)
+        exp.add("b", 0.8, paper=1.0)
+        assert exp.max_paper_deviation() == pytest.approx(0.2)
+
+    def test_max_paper_deviation_empty(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.0)
+        assert exp.max_paper_deviation() is None
+
+    def test_render_all(self):
+        a = Experiment("a", "one")
+        b = Experiment("b", "two")
+        text = render_all([a, b])
+        assert "one" in text and "two" in text
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

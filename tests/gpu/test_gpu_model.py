@@ -1,0 +1,36 @@
+"""Unit tests for the Figure 2 GPU epoch-time model."""
+
+import pytest
+
+from repro.gpu import epoch_breakdown
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("products", scale=0.25, seed=0)
+
+
+class TestBreakdown:
+    def test_positive_components(self, graph):
+        result = epoch_breakdown(graph, batch_size=32)
+        assert result.sampling_seconds > 0
+        assert result.gnn_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.sampling_seconds + result.gnn_seconds
+        )
+
+    def test_sampling_dominates(self, graph):
+        """The Figure 2 headline: sampling+minibatching takes >60% of the
+        epoch (>80% in the paper's full-scale run)."""
+        result = epoch_breakdown(graph, batch_size=32)
+        assert result.sampling_share > 0.6
+
+    def test_smaller_batches_slower_epochs(self, graph):
+        small = epoch_breakdown(graph, batch_size=32)
+        large = epoch_breakdown(graph, batch_size=128)
+        assert large.total_seconds < small.total_seconds
+
+    def test_share_persists_across_batch_sizes(self, graph):
+        for batch in (32, 64, 128):
+            assert epoch_breakdown(graph, batch_size=batch).sampling_share > 0.5

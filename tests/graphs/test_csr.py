@@ -1,0 +1,126 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph, GraphError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, tiny_graph):
+        assert tiny_graph.num_vertices == 5
+        assert tiny_graph.num_edges == 7
+
+    def test_neighbors_sorted_per_row(self, tiny_graph):
+        assert list(tiny_graph.neighbors(3)) == [0, 1, 2]
+        assert list(tiny_graph.neighbors(0)) == [1, 2]
+
+    def test_isolated_vertex_has_no_neighbors(self, tiny_graph):
+        assert len(tiny_graph.neighbors(4)) == 0
+
+    def test_degrees(self, tiny_graph):
+        assert list(tiny_graph.degrees()) == [2, 1, 1, 3, 0]
+        assert tiny_graph.degree(3) == 3
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges(0, [])
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        graph = CSRGraph.from_edges(4, [(0, 1)])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 1
+
+    def test_deduplication(self):
+        graph = CSRGraph.from_edges(3, [(0, 1), (0, 1), (0, 2)])
+        assert graph.num_edges == 2
+
+    def test_deduplication_disabled(self):
+        graph = CSRGraph.from_edges(3, [(0, 1), (0, 1)], deduplicate=False)
+        assert graph.num_edges == 2
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(-1, [])
+
+
+class TestValidation:
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_monotonic(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_indptr_tail_matches_indices(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_indices_in_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestDerived:
+    def test_with_self_loops_adds_one_per_vertex(self, tiny_graph):
+        looped = tiny_graph.with_self_loops()
+        assert looped.num_edges == tiny_graph.num_edges + tiny_graph.num_vertices
+        for v in range(looped.num_vertices):
+            assert v in looped.neighbors(v)
+
+    def test_has_self_loops(self, tiny_graph):
+        assert not tiny_graph.has_self_loops()
+        assert tiny_graph.with_self_loops().has_self_loops()
+
+    def test_reverse_transposes(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev.num_edges == tiny_graph.num_edges
+        # 0 <- 1 in the original becomes 1 <- 0 in the reverse.
+        assert 0 in rev.neighbors(1)
+        assert 3 in rev.neighbors(0)
+
+    def test_double_reverse_is_identity(self, small_uniform):
+        twice = small_uniform.reverse().reverse()
+        np.testing.assert_array_equal(twice.indptr, small_uniform.indptr)
+        np.testing.assert_array_equal(twice.indices, small_uniform.indices)
+
+    def test_to_scipy_round_trip(self, tiny_graph):
+        mat = tiny_graph.to_scipy()
+        back = CSRGraph.from_scipy(mat)
+        np.testing.assert_array_equal(back.indptr, tiny_graph.indptr)
+        np.testing.assert_array_equal(back.indices, tiny_graph.indices)
+
+    def test_from_scipy_rejects_non_square(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_scipy(sp.csr_matrix((2, 3)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    edges=st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60
+    ),
+)
+def test_from_edges_property(n, edges):
+    """Any in-range edge list builds a valid graph with exact edge count."""
+    edges = [(d % n, s % n) for d, s in edges]
+    graph = CSRGraph.from_edges(n, edges)
+    graph.validate()
+    assert graph.num_vertices == n
+    assert graph.num_edges == len(set(edges))
+    # Every edge is present exactly where expected.
+    for dst, src in set(edges):
+        assert src in graph.neighbors(dst)

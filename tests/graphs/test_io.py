@@ -1,0 +1,62 @@
+"""Unit tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    load_edge_list,
+    load_npz,
+    parse_edge_list,
+    save_npz,
+)
+
+
+class TestNpz:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_npz(tiny_graph, path)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.indptr, tiny_graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, tiny_graph.indices)
+        assert loaded.name == tiny_graph.name
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, indptr=np.array([0]))
+        with pytest.raises(GraphError):
+            load_npz(path)
+
+
+class TestEdgeList:
+    def test_parse_basic(self):
+        graph = parse_edge_list("0 1\n1 2\n2 0\n")
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_comments_and_blanks_skipped(self):
+        graph = parse_edge_list("# header\n\n% other\n0 1\n")
+        assert graph.num_edges == 1
+
+    def test_extra_columns_tolerated(self):
+        graph = parse_edge_list("0 1 0.5\n")
+        assert graph.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            parse_edge_list("0\n")
+
+    def test_non_integer_raises(self):
+        with pytest.raises(GraphError):
+            parse_edge_list("a b\n")
+
+    def test_negative_id_raises(self):
+        with pytest.raises(GraphError):
+            parse_edge_list("-1 0\n")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 0\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.name == "graph.txt"

@@ -1,0 +1,87 @@
+"""Unit tests for task partitioning / load-balance analysis (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_dataset, star_graph, uniform_graph
+from repro.graphs.partition import (
+    balance_comparison,
+    chunk_boundaries,
+    dynamic_schedule,
+    static_schedule,
+    task_weights,
+)
+
+
+class TestTaskWeights:
+    def test_total_is_gathers(self, small_uniform):
+        weights = task_weights(small_uniform, 16)
+        assert weights.sum() == small_uniform.num_edges + small_uniform.num_vertices
+
+    def test_task_count(self, small_uniform):
+        weights = task_weights(small_uniform, 16)
+        n = small_uniform.num_vertices
+        assert len(weights) == (n + 15) // 16
+
+    def test_order_reshuffles_weights(self):
+        graph = star_graph(63)  # hub weight concentrated in task 0
+        natural = task_weights(graph, 8)
+        moved = task_weights(graph, 8, order=np.arange(63, -1, -1))
+        assert natural[0] != moved[0]
+        assert natural.sum() == moved.sum()
+
+    def test_invalid_task_size(self, small_uniform):
+        with pytest.raises(ValueError):
+            task_weights(small_uniform, 0)
+
+
+class TestSchedules:
+    def test_dynamic_never_worse_than_static(self):
+        graph = load_dataset("products", scale=0.1, seed=0)
+        static, dynamic = balance_comparison(graph, task_size=16, threads=8)
+        assert dynamic.makespan <= static.makespan
+
+    def test_skewed_graph_needs_dynamic(self):
+        """Power-law degrees create heavy tasks; dynamic scheduling cuts
+        the makespan — the paper's §4.1 motivation."""
+        graph = load_dataset("twitter", scale=0.1, seed=0)
+        static, dynamic = balance_comparison(graph, task_size=8, threads=8)
+        assert dynamic.imbalance < static.imbalance
+
+    def test_uniform_graph_balanced_either_way(self):
+        graph = uniform_graph(512, 8.0, seed=0)
+        static, dynamic = balance_comparison(graph, task_size=16, threads=8)
+        assert static.imbalance < 1.5
+        assert dynamic.imbalance < 1.2
+
+    def test_work_conserved(self):
+        graph = load_dataset("products", scale=0.1, seed=0)
+        weights = task_weights(graph, 32)
+        static = static_schedule(weights, 8)
+        dynamic = dynamic_schedule(weights, 8)
+        assert static.thread_work.sum() == pytest.approx(weights.sum())
+        assert dynamic.thread_work.sum() == pytest.approx(weights.sum())
+
+    def test_single_thread_degenerate(self):
+        weights = np.array([3.0, 5.0])
+        report = dynamic_schedule(weights, 1)
+        assert report.makespan == 8.0
+        assert report.imbalance == 1.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            static_schedule(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            dynamic_schedule(np.array([1.0]), 0)
+
+
+class TestChunkBoundaries:
+    def test_cover_all_vertices(self):
+        slices = chunk_boundaries(100, 16)
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == 100
+        assert slices[-1].stop == 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_boundaries(10, 0)

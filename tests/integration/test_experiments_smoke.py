@@ -1,0 +1,167 @@
+"""Small-scale smoke runs of every paper-artifact experiment.
+
+Each experiment must run end-to-end and reproduce the qualitative shape
+the paper reports.  Full-scale numbers live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    BenchContext,
+    fig2_gpu_sampling,
+    fig3_topdown,
+    fig11_software_speedups,
+    fig12_dma_speedups,
+    fig13_fusion_breakdown,
+    fig14_compression_sweep,
+    fig15_locality,
+    fig16_tracking_table,
+    sec732_memory_system,
+    tab3_datasets,
+    tab4_characterization,
+    tab5_cache_reduction,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BenchContext(scale=0.25)
+
+
+class TestMotivation:
+    def test_fig2_sampling_dominates(self, ctx):
+        exp = fig2_gpu_sampling(ctx)
+        shares = {r.label: r.measured for r in exp.rows if "share" in r.label}
+        assert all(v > 0.5 for v in shares.values())
+
+    def test_fig2_epoch_time_decreases_with_batch(self, ctx):
+        exp = fig2_gpu_sampling(ctx)
+        assert exp.shape_holds(
+            [
+                "batch-4096 epoch time (norm.)",
+                "batch-2048 epoch time (norm.)",
+                "batch-1024 epoch time (norm.)",
+            ]
+        )
+
+    def test_fig3_memory_bound_dominates(self, ctx):
+        exp = fig3_topdown(ctx)
+        values = {r.label: r.measured for r in exp.rows}
+        assert values["memory bound"] > values["retiring"]
+        assert values["retiring"] < 0.25
+
+    def test_tab3_mean_degrees_in_band(self, ctx):
+        exp = tab3_datasets(ctx)
+        for row in exp.rows:
+            if "mean degree" in row.label and row.ratio is not None:
+                assert 0.5 <= row.ratio <= 1.5
+
+
+class TestSoftwareEvaluation:
+    def test_fig11a_ordering(self, ctx):
+        exp = fig11_software_speedups(ctx, training=False)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia", "papers", "twitter"):
+            assert values[f"{name} combined"] > values[f"{name} basic"]
+            assert values[f"{name} combined"] > 1.4
+            assert values[f"{name} mkl"] < 1.0
+
+    def test_fig11b_locality_wins_training(self, ctx):
+        exp = fig11_software_speedups(ctx, training=True)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia", "papers", "twitter"):
+            assert values[f"{name} c-locality"] >= values[f"{name} combined"] * 0.98
+        # products is the biggest locality winner (Fig. 11b).
+        gain = {
+            name: values[f"{name} c-locality"] / values[f"{name} combined"]
+            for name in ("products", "wikipedia", "papers", "twitter")
+        }
+        assert gain["products"] == max(gain.values())
+
+    def test_fig13_update_share_orders_fusion_benefit(self, ctx):
+        exp = fig13_fusion_breakdown(ctx)
+        values = {r.label: r.measured for r in exp.rows}
+        # wikipedia has the biggest update share -> most fusion headroom.
+        assert (
+            values["wikipedia basic update share"]
+            > values["products basic update share"]
+        )
+        # Fused inference is never slower than basic.
+        for name in ("products", "wikipedia", "papers", "twitter"):
+            assert values[f"{name} fused inference (norm.)"] <= 1.0
+
+    def test_fig14_crossover(self, ctx):
+        exp = fig14_compression_sweep(ctx, training=False)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia", "papers", "twitter"):
+            assert values[f"{name} @10%"] < 1.0  # loses at low sparsity
+            assert values[f"{name} @90%"] > 1.3  # wins big at high sparsity
+            assert exp.shape_holds(
+                [f"{name} @{s}%" for s in (10, 30, 50, 70, 90)]
+            )
+
+    def test_fig15_products_randomized_equals_combined(self, ctx):
+        exp = fig15_locality(ctx)
+        values = {r.label: r.measured for r in exp.rows}
+        assert values["products combined"] == pytest.approx(1.0, abs=0.1)
+        assert values["products locality"] > 1.3
+        # Pre-localized graphs beat randomized even without reordering.
+        assert values["wikipedia combined"] > 1.02
+
+    def test_tab4_optimizations_raise_retiring(self, ctx):
+        exp = tab4_characterization(ctx)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "papers"):
+            assert (
+                values[f"{name} c-locality retiring"]
+                > values[f"{name} distgnn retiring"]
+            )
+            assert (
+                values[f"{name} c-locality memory-bound"]
+                < values[f"{name} distgnn memory-bound"]
+            )
+
+
+HW_SCALE = 0.08
+
+
+class TestHardwareEvaluation:
+    def test_fig12_dma_beats_fusion(self):
+        exp = fig12_dma_speedups(training=False, scale=HW_SCALE)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia"):
+            assert values[f"{name} fusion+DMA"] > values[f"{name} fusion"]
+
+    def test_fig12b_locality_stacks_with_dma(self):
+        exp = fig12_dma_speedups(training=True, scale=HW_SCALE)
+        values = {r.label: r.measured for r in exp.rows}
+        assert (
+            values["products fusion+DMA+locality"]
+            > values["products fusion+locality"]
+        )
+
+    def test_fig16_knee_at_32_entries(self):
+        exp = fig16_tracking_table(scale=HW_SCALE)
+        values = {r.label: r.measured for r in exp.rows}
+        assert values["16 entries (norm.)"] < values["8 entries (norm.)"]
+        assert values["32 entries (norm.)"] < values["16 entries (norm.)"]
+        # Past the knee, returns vanish (Figure 16).
+        assert values["64 entries (norm.)"] > values["32 entries (norm.)"] * 0.9
+
+    def test_tab5_agg_only_reductions_over_90pct(self):
+        exp = tab5_cache_reduction(scale=HW_SCALE)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia"):
+            assert values[f"{name} agg-only L1 reduction"] > 0.9
+            assert values[f"{name} agg-only L2 reduction"] > 0.9
+            # Fused keeps the update's accesses -> much lower reduction.
+            assert (
+                values[f"{name} fused L1 reduction"]
+                < values[f"{name} agg-only L1 reduction"]
+            )
+
+    def test_sec732_l2_miss_rate_collapses(self):
+        exp = sec732_memory_system(scale=HW_SCALE)
+        values = {r.label: r.measured for r in exp.rows}
+        for name in ("products", "wikipedia"):
+            assert values[f"{name} L2 miss after"] < values[f"{name} L2 miss before"]

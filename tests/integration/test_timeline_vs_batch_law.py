@@ -1,0 +1,63 @@
+"""Cross-validate the event-driven Fig-10 timeline against the batch law.
+
+Two independent implementations of the same mechanism — the request-
+granular timeline of :mod:`repro.dma.timeline` and the closed-form
+tracking-table law of :mod:`repro.dma.engine` — must agree on the
+qualitative scaling of Figure 16.
+"""
+
+import pytest
+
+from repro.dma.engine import DmaEngine
+from repro.dma.timeline import DescriptorJob, DmaRequestTimeline
+from repro.sim import DramModel
+
+ENTRIES = (8, 16, 32, 64)
+
+
+def _timeline_curve():
+    # The index buffer must not be the bottleneck for this comparison:
+    # each buffered index line unlocks 8 input lines, so 16 entries keep
+    # up to 128 dependent fetches available to the tracking table.
+    jobs = [DescriptorJob(index_lines=6, inputs_per_index_line=4, lines_per_input=2)
+            for _ in range(8)]
+    times = {}
+    for entries in ENTRIES:
+        timeline = DmaRequestTimeline(
+            tracking_entries=entries, index_buffer_entries=16,
+            memory_latency=120.0, issue_interval=1.2,
+        )
+        times[entries] = timeline.run(jobs).finish_time
+    return {e: times[e] / times[8] for e in ENTRIES}
+
+
+def _batch_law_curve():
+    dram = DramModel()
+    engine = DmaEngine(0)
+    lines = 8 * (6 + 24)
+    times = {
+        entries: engine.batch_time_cycles(
+            dram, lines, lines, tracking_entries=entries, contention=28
+        )
+        for entries in ENTRIES
+    }
+    return {e: times[e] / times[8] for e in ENTRIES}
+
+
+class TestAgreement:
+    def test_both_monotone_nonincreasing(self):
+        for curve in (_timeline_curve(), _batch_law_curve()):
+            values = [curve[e] for e in ENTRIES]
+            assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_both_show_diminishing_returns(self):
+        for curve in (_timeline_curve(), _batch_law_curve()):
+            early_gain = curve[8] - curve[16]
+            late_gain = curve[32] - curve[64]
+            assert early_gain > late_gain
+
+    def test_normalized_curves_roughly_agree(self):
+        timeline = _timeline_curve()
+        law = _batch_law_curve()
+        for entries in (16, 32):
+            assert timeline[entries] == pytest.approx(law[entries], abs=0.3)

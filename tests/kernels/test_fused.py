@@ -1,0 +1,99 @@
+"""Unit tests for the fused kernel's structural properties (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import synthetic_features
+from repro.kernels import BasicKernel, FusedKernel, UpdateParams
+
+
+def _params(f_in, f_out):
+    rng = np.random.default_rng(0)
+    return UpdateParams(
+        weight=(rng.standard_normal((f_in, f_out)) * 0.1).astype(np.float32),
+        bias=np.zeros(f_out, dtype=np.float32),
+    )
+
+
+class TestFootprint:
+    def test_inference_buffer_is_one_block(self, small_products):
+        """Figure 5c: inference needs only a B-row reusable buffer."""
+        kernel = FusedKernel(block_size=16)
+        h = synthetic_features(small_products, 32, seed=0)
+        _, _, stats = kernel.run_layer(
+            small_products, h, _params(32, 8), keep_aggregation=False
+        )
+        assert stats.peak_buffer_bytes == 16 * 32 * 4
+
+    def test_training_keeps_full_matrix(self, small_products):
+        """Figure 5b: training retains all of a for backward."""
+        kernel = FusedKernel(block_size=16)
+        h = synthetic_features(small_products, 32, seed=0)
+        _, a, stats = kernel.run_layer(
+            small_products, h, _params(32, 8), keep_aggregation=True
+        )
+        assert a is not None
+        assert stats.peak_buffer_bytes == a.nbytes
+        assert a.nbytes == small_products.num_vertices * 32 * 4
+
+    def test_inference_footprint_much_smaller(self, small_products):
+        kernel = FusedKernel(block_size=8)
+        h = synthetic_features(small_products, 64, seed=0)
+        _, _, inf = kernel.run_layer(
+            small_products, h, _params(64, 8), keep_aggregation=False
+        )
+        _, _, train = kernel.run_layer(
+            small_products, h, _params(64, 8), keep_aggregation=True
+        )
+        assert inf.peak_buffer_bytes * 10 < train.peak_buffer_bytes
+
+
+class TestBlocking:
+    @pytest.mark.parametrize("block_size", [1, 3, 16, 1000])
+    def test_any_block_size_is_correct(self, small_products, block_size):
+        h = synthetic_features(small_products, 12, seed=1)
+        params = _params(12, 6)
+        reference, _, _ = FusedKernel(block_size=32).run_layer(
+            small_products, h, params
+        )
+        out, _, _ = FusedKernel(block_size=block_size).run_layer(
+            small_products, h, params
+        )
+        np.testing.assert_allclose(out, reference, atol=1e-5)
+
+    def test_block_count(self, small_products):
+        kernel = FusedKernel(block_size=10)
+        h = synthetic_features(small_products, 8, seed=2)
+        _, _, stats = kernel.run_layer(small_products, h, _params(8, 4))
+        n = small_products.num_vertices
+        assert stats.blocks == (n + 9) // 10
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            FusedKernel(block_size=0)
+        with pytest.raises(ValueError):
+            FusedKernel(blocks_per_task=0)
+
+    def test_weight_shape_checked(self, small_products):
+        kernel = FusedKernel()
+        h = synthetic_features(small_products, 8, seed=3)
+        with pytest.raises(ValueError):
+            kernel.run_layer(small_products, h, _params(16, 4))
+
+
+class TestPrefetch:
+    def test_prefetch_counts_two_lines_per_vector(self, small_products):
+        """Section 4.1: only the first two cache lines are prefetched."""
+        h = synthetic_features(small_products, 16, seed=4)
+        kernel = BasicKernel(prefetch_distance=4)
+        _, stats = kernel.aggregate(small_products, h)
+        gathers_ahead = sum(
+            small_products.degree(v) + 1
+            for v in range(4, small_products.num_vertices)
+        )
+        assert stats.prefetches == gathers_ahead * 2
+
+    def test_zero_distance_disables_prefetch(self, small_products):
+        h = synthetic_features(small_products, 16, seed=4)
+        _, stats = BasicKernel(prefetch_distance=0).aggregate(small_products, h)
+        assert stats.prefetches == 0

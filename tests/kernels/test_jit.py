@@ -1,0 +1,62 @@
+"""Unit tests for the JIT kernel-specialization cache (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import synthetic_features
+from repro.kernels import BasicKernel, JitKernelCache, KernelSpec
+from repro.nn import aggregate
+
+
+class TestCache:
+    def test_compile_once_per_spec(self, small_products):
+        cache = JitKernelCache()
+        spec = KernelSpec(feature_len=16, aggregator="gcn")
+        cache.specialize(small_products, spec)
+        cache.specialize(small_products, spec)
+        assert cache.compilations == 1
+        assert len(cache) == 1
+
+    def test_new_spec_compiles_again(self, small_products):
+        cache = JitKernelCache()
+        cache.specialize(small_products, KernelSpec(16, "gcn"))
+        cache.specialize(small_products, KernelSpec(32, "gcn"))
+        cache.specialize(small_products, KernelSpec(16, "mean"))
+        assert cache.compilations == 3
+
+    def test_per_graph_specialization(self, small_products, small_uniform):
+        cache = JitKernelCache()
+        cache.specialize(small_products, KernelSpec(16, "gcn"))
+        cache.specialize(small_uniform, KernelSpec(16, "gcn"))
+        assert cache.compilations == 2
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            KernelSpec(feature_len=0, aggregator="gcn")
+
+    def test_specialized_kernel_checks_width(self, small_products):
+        cache = JitKernelCache()
+        kernel = cache.specialize(small_products, KernelSpec(16, "gcn"))
+        wrong = np.ones((small_products.num_vertices, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            kernel(wrong, 0)
+
+    def test_specialized_kernel_correct(self, small_products):
+        cache = JitKernelCache()
+        kernel = cache.specialize(small_products, KernelSpec(12, "mean"))
+        h = synthetic_features(small_products, 12, seed=0)
+        reference = aggregate(small_products, h, "mean")
+        for v in (0, 5, small_products.num_vertices - 1):
+            np.testing.assert_allclose(kernel(h, v), reference[v], atol=1e-5)
+
+
+class TestAmortization:
+    def test_repeated_layers_amortize(self, small_products):
+        """The training-loop pattern: the second epoch compiles nothing."""
+        cache = JitKernelCache()
+        kernel = BasicKernel(jit_cache=cache)
+        h = synthetic_features(small_products, 16, seed=1)
+        _, first = kernel.aggregate(small_products, h, "gcn")
+        _, second = kernel.aggregate(small_products, h, "gcn")
+        assert first.jit_compilations == 1
+        assert second.jit_compilations == 0

@@ -1,0 +1,149 @@
+"""Unit tests for activation/loss functions with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    accuracy,
+    cross_entropy,
+    dropout,
+    dropout_grad,
+    relu,
+    relu_grad,
+    softmax,
+    xavier_uniform,
+)
+
+
+def numerical_grad(func, x, eps=1e-4):
+    """Central-difference gradient of a scalar function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        high = func(x)
+        flat[i] = orig - eps
+        low = func(x)
+        flat[i] = orig
+        out[i] = (high - low) / (2 * eps)
+    return grad
+
+
+class TestRelu:
+    def test_values(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_grad_masks_negatives(self):
+        x = np.array([-1.0, 0.5])
+        g = relu_grad(x, np.array([3.0, 3.0]))
+        np.testing.assert_array_equal(g, [0.0, 3.0])
+
+    def test_grad_at_zero_is_zero(self):
+        g = relu_grad(np.array([0.0]), np.array([1.0]))
+        assert g[0] == 0.0
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        out, mask = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(out, x)
+        assert mask is None
+
+    def test_training_zeroes_and_scales(self, rng):
+        x = np.ones((1000, 10), dtype=np.float32)
+        out, mask = dropout(x, 0.5, rng, training=True)
+        zero_fraction = np.mean(out == 0)
+        assert 0.45 <= zero_fraction <= 0.55
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+
+    def test_expectation_preserved(self, rng):
+        x = np.ones((200, 200), dtype=np.float32)
+        out, _ = dropout(x, 0.3, rng, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_grad_applies_same_mask(self, rng):
+        x = np.ones((10, 10), dtype=np.float32)
+        out, mask = dropout(x, 0.5, rng, training=True)
+        grad = dropout_grad(np.ones_like(x), mask, 0.5)
+        np.testing.assert_array_equal(grad != 0, out != 0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            dropout(np.ones(3), 1.0, rng)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.standard_normal((7, 5))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_softmax_shift_invariant(self, rng):
+        logits = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            softmax(logits), softmax(logits + 100.0), rtol=1e-5
+        )
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        loss, _ = cross_entropy(logits, labels)
+        assert loss < 1e-4
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.standard_normal((5, 3)).astype(np.float64)
+        labels = np.array([0, 1, 2, 1, 0])
+        _, grad = cross_entropy(logits.copy(), labels)
+
+        def loss_fn(x):
+            loss, _ = cross_entropy(x.copy(), labels)
+            return loss
+
+        num = numerical_grad(loss_fn, logits.copy())
+        np.testing.assert_allclose(grad, num, atol=1e-4)
+
+    def test_mask_restricts_loss(self):
+        logits = np.array([[5.0, -5.0], [-5.0, 5.0]], dtype=np.float32)
+        labels = np.array([1, 1])  # first is wrong, second right
+        mask = np.array([False, True])
+        loss, grad = cross_entropy(logits, labels, mask=mask)
+        assert loss < 1e-3  # only the correct vertex counts
+        np.testing.assert_array_equal(grad[0], 0.0)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.ones((2, 2)), np.array([0, 1]), mask=np.zeros(2, bool))
+
+    def test_label_shape_checked(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.ones((2, 2)), np.array([0, 1, 0]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_masked(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        labels = np.array([0, 1])
+        assert accuracy(logits, labels, mask=np.array([True, False])) == 1.0
+
+    def test_empty_mask(self):
+        assert accuracy(np.ones((2, 2)), np.array([0, 1]), np.zeros(2, bool)) == 0.0
+
+
+class TestInit:
+    def test_xavier_bounds(self, rng):
+        w = xavier_uniform(64, 32, rng)
+        bound = np.sqrt(6.0 / 96)
+        assert w.shape == (64, 32)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_dtype(self, rng):
+        assert xavier_uniform(4, 4, rng).dtype == np.float32

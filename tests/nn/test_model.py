@@ -1,0 +1,82 @@
+"""Unit tests for multi-layer GNN models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import synthetic_features
+from repro.nn import GNNLayer, GNNModel, build_model
+
+
+class TestBuildModel:
+    def test_layer_count_and_widths(self):
+        model = build_model("gcn", 32, 16, 4, num_layers=3)
+        assert model.num_layers == 3
+        assert model.hidden_widths() == [16, 16, 4]
+
+    def test_last_layer_has_no_activation(self):
+        model = build_model("gcn", 8, 8, 3, num_layers=2)
+        assert model.layers[0].activation
+        assert not model.layers[-1].activation
+
+    def test_sage_uses_mean(self):
+        model = build_model("sage", 8, 8, 3)
+        assert all(layer.aggregator == "mean" for layer in model.layers)
+
+    def test_dropout_skips_input_layer(self):
+        model = build_model("gcn", 8, 8, 3, num_layers=3, dropout=0.5)
+        assert model.layers[0].dropout == 0.0
+        assert model.layers[1].dropout == 0.5
+
+    def test_invalid_model_type(self):
+        with pytest.raises(ValueError):
+            build_model("gat", 8, 8, 3)
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            build_model("gcn", 8, 8, 3, num_layers=0)
+
+
+class TestModelValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GNNModel([])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GNNModel([GNNLayer(4, 8), GNNLayer(4, 2)])
+
+
+class TestForwardBackward:
+    def test_forward_shapes(self, small_uniform):
+        model = build_model("gcn", 8, 16, 4, num_layers=2)
+        h = synthetic_features(small_uniform, 8, seed=0)
+        logits, caches = model.forward(small_uniform, h)
+        assert logits.shape == (small_uniform.num_vertices, 4)
+        assert len(caches) == 2
+
+    def test_backward_returns_all_grads(self, small_uniform):
+        model = build_model("gcn", 8, 16, 4, num_layers=2)
+        h = synthetic_features(small_uniform, 8, seed=0)
+        logits, caches = model.forward(small_uniform, h, training=True)
+        grads = model.backward(small_uniform, np.ones_like(logits), caches)
+        assert len(grads) == 2
+        for layer, grad in zip(model.layers, grads):
+            assert grad.weight.shape == layer.weight.shape
+
+    def test_backward_cache_mismatch(self, small_uniform):
+        model = build_model("gcn", 8, 16, 4, num_layers=2)
+        with pytest.raises(ValueError):
+            model.backward(small_uniform, np.zeros((1, 4)), [])
+
+    def test_predict_equals_eval_forward(self, small_uniform):
+        model = build_model("gcn", 8, 16, 4, num_layers=2, dropout=0.5)
+        h = synthetic_features(small_uniform, 8, seed=0)
+        np.testing.assert_array_equal(
+            model.predict(small_uniform, h),
+            model.forward(small_uniform, h, training=False)[0],
+        )
+
+    def test_parameters_enumeration(self):
+        model = build_model("gcn", 4, 8, 2, num_layers=2)
+        params = model.parameters()
+        assert len(params) == 4  # weight + bias per layer

@@ -1,0 +1,83 @@
+"""Unit tests for the full-batch trainer."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import planted_partition_graph, synthetic_features
+from repro.nn import Adam, SGD, Trainer, build_model, inference, train_val_split
+
+
+@pytest.fixture(scope="module")
+def community_task():
+    graph, labels = planted_partition_graph(150, 3, p_in=0.12, p_out=0.01, seed=0)
+    rng = np.random.default_rng(0)
+    # Features weakly correlated with the label, so the GNN must use the
+    # graph structure to do well.
+    features = rng.standard_normal((150, 8)).astype(np.float32)
+    features[:, 0] += labels * 0.5
+    return graph, features, labels
+
+
+class TestTrainer:
+    def test_loss_decreases(self, community_task):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 16, 3, num_layers=2, seed=0)
+        trainer = Trainer(model, Adam(model, lr=0.02))
+        history = trainer.fit(graph, features, labels, epochs=15)
+        assert history.epochs[-1].loss < history.epochs[0].loss
+
+    def test_accuracy_improves_over_chance(self, community_task):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 16, 3, num_layers=2, seed=1)
+        trainer = Trainer(model, Adam(model, lr=0.02))
+        history = trainer.fit(graph, features, labels, epochs=40)
+        assert history.final_accuracy > 0.6  # chance is ~0.33
+
+    def test_masked_training_reports_val(self, community_task):
+        graph, features, labels = community_task
+        train_mask, val_mask = train_val_split(graph.num_vertices, 0.5, seed=0)
+        model = build_model("gcn", 8, 16, 3, num_layers=2, seed=2)
+        trainer = Trainer(model, Adam(model, lr=0.02))
+        result = trainer.train_epoch(
+            graph, features, labels, train_mask=train_mask, val_mask=val_mask
+        )
+        assert result.val_accuracy is not None
+
+    def test_sparsity_profile_recorded(self, community_task):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 16, 3, num_layers=2, dropout=0.5, seed=3)
+        trainer = Trainer(model, SGD(model, lr=0.1), profile_sparsity=True)
+        trainer.fit(graph, features, labels, epochs=2)
+        profile = trainer.history.sparsity
+        assert profile.layers() == [0, 1]
+        # Layer 1's input passed through ReLU + dropout: clearly sparse.
+        assert profile.mean(1) > 0.3
+
+    def test_history_losses(self, community_task):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=4)
+        trainer = Trainer(model, SGD(model, lr=0.1))
+        trainer.fit(graph, features, labels, epochs=3)
+        assert len(trainer.history.losses()) == 3
+
+
+class TestInference:
+    def test_logits_shape(self, community_task):
+        graph, features, _ = community_task
+        model = build_model("gcn", 8, 16, 3, num_layers=2)
+        logits = inference(model, graph, features)
+        assert logits.shape == (graph.num_vertices, 3)
+
+
+class TestSplit:
+    def test_disjoint_and_complete(self):
+        train, val = train_val_split(100, 0.6, seed=0)
+        assert train.sum() == 60
+        assert val.sum() == 40
+        assert not (train & val).any()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_val_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_val_split(10, 1.0)

@@ -1,0 +1,31 @@
+"""Unit tests for the Table-4 characterization renderer."""
+
+import pytest
+
+from repro.graphs import input_feature_size, load_dataset
+from repro.perf.report import TABLE4_VARIANTS, characterization_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    graphs = {"products": load_dataset("products", scale=0.15, seed=0)}
+    return characterization_table(graphs, {"products": 64}, f_hidden=128)
+
+
+class TestCharacterizationTable:
+    def test_all_variants_present(self, table):
+        assert set(table.rows["products"]) == set(TABLE4_VARIANTS)
+
+    def test_render_layout(self, table):
+        text = table.render()
+        assert "Retiring" in text
+        assert "c-locality" in text
+        assert "FillBufFull" in text
+
+    def test_report_accessor(self, table):
+        report = table.report("products", "distgnn")
+        assert 0.0 <= report.retiring <= 1.0
+
+    def test_improvement_metric(self, table):
+        gain = table.improvement("products", "retiring")
+        assert gain > 1.0  # c-locality retires more than distgnn

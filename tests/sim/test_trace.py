@@ -1,0 +1,71 @@
+"""Unit tests for the address-trace layout."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MemoryLayout, iter_traces, layout_for, vertex_trace
+
+
+class TestMemoryLayout:
+    def test_row_padding_to_lines(self):
+        layout = MemoryLayout(num_vertices=10, num_edges=20, feature_len=17)
+        assert layout.row_bytes == 128  # 68B padded to two lines
+        assert layout.lines_per_row == 2
+
+    def test_exact_line_multiple_unpadded(self):
+        layout = MemoryLayout(num_vertices=10, num_edges=20, feature_len=16)
+        assert layout.row_bytes == 64
+
+    def test_regions_do_not_overlap(self):
+        layout = MemoryLayout(num_vertices=100, num_edges=500, feature_len=32)
+        assert layout.h_base < layout.idx_base < layout.factor_base < layout.a_base
+        assert layout.idx_base == layout.h_base + 100 * layout.row_bytes
+        assert layout.end > layout.a_base
+
+    def test_feature_lines(self):
+        layout = MemoryLayout(num_vertices=4, num_edges=0, feature_len=32)
+        lines = layout.feature_lines(1)
+        assert lines == [128, 192]  # row 1 starts at 128B, spans 2 lines
+
+    def test_index_lines_cover_slice(self):
+        layout = MemoryLayout(num_vertices=4, num_edges=100, feature_len=16)
+        # indices 0..15 pack into one 64B line (4B each).
+        assert len(layout.index_lines(0, 16)) == 1
+        assert len(layout.index_lines(0, 17)) == 2
+
+    def test_empty_slice(self):
+        layout = MemoryLayout(num_vertices=4, num_edges=10, feature_len=16)
+        assert layout.index_lines(3, 3) == []
+        assert layout.factor_lines(5, 5) == []
+
+
+class TestVertexTrace:
+    def test_counts(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        trace = vertex_trace(tiny_graph, layout, 3)
+        # Vertex 3 gathers {0,1,2} plus itself: 4 rows of 1 line each.
+        assert len(trace.gather_lines) == 4
+        assert len(trace.output_lines) == 1
+        assert trace.input_line_count >= 4
+
+    def test_isolated_vertex_still_touches_self(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        trace = vertex_trace(tiny_graph, layout, 4)
+        assert len(trace.gather_lines) == 1
+        assert trace.index_lines == ()
+
+    def test_iter_traces_covers_order(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        order = np.array([4, 3, 2, 1, 0])
+        traces = list(iter_traces(tiny_graph, layout, order))
+        assert [t.vertex for t in traces] == [4, 3, 2, 1, 0]
+
+    def test_gather_lines_match_neighbors(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        trace = vertex_trace(tiny_graph, layout, 0)
+        expected = (
+            layout.feature_lines(1)
+            + layout.feature_lines(2)
+            + layout.feature_lines(0)
+        )
+        assert list(trace.gather_lines) == expected

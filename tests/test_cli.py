@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.scale == 0.5
+
+    def test_speedup_validates_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["speedup", "reddit"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "products" in out and "paper:" in out
+
+    def test_speedup_inference(self, capsys):
+        assert main(["speedup", "products", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out
+        assert "c-locality" not in out  # training-only variant
+
+    def test_speedup_training_includes_locality(self, capsys):
+        assert main(["speedup", "products", "--scale", "0.1", "--training"]) == 0
+        assert "c-locality" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "products", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Retiring" in out and "FillBufFull" in out
+
+    def test_train(self, capsys):
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "16", "--hidden", "16",
+        ])
+        assert code == 0
+        assert "sparsity" in capsys.readouterr().out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3", "--scale", "0.1"]) == 0
+        assert "retiring" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
