@@ -5,9 +5,21 @@ context caches the dataset twins and their (expensive) reuse profiles so
 the whole suite runs in a few minutes.
 """
 
+import numpy as np
 import pytest
 
 from repro.bench.figures import BenchContext
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy_per_test():
+    """Reseed NumPy before every benchmark so ablations are reproducible.
+
+    Some experiments draw through the legacy global RNG; without a
+    per-test reseed their measurements depend on how many tests ran
+    before them in the session.
+    """
+    np.random.seed(0)
 
 
 @pytest.fixture(scope="session")

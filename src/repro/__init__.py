@@ -11,6 +11,8 @@ The package is organized as the paper is:
   training (Sections 2.1, 6).
 * :mod:`repro.kernels` — the execution strategies of Figure 11
   (DistGNN, MKL-SpMM, basic, fusion, compression, combined).
+* :mod:`repro.parallel` — the Section 4.1 output-parallel chunk
+  executor: ``serial`` / ``thread`` / ``process`` worker backends.
 * :mod:`repro.perf` — the machine performance model that prices the
   software techniques (Figures 11/13/14/15, Tables 3-4).
 * :mod:`repro.sim` — trace-driven cache/DRAM simulation (Section 7.3).
@@ -31,7 +33,7 @@ Quickstart::
     trainer = Trainer(model, Adam(model, lr=0.01))
 """
 
-from . import bench, dma, gpu, graphs, kernels, nn, perf, sim, tensors
+from . import bench, dma, gpu, graphs, kernels, nn, parallel, perf, sim, tensors
 
 __version__ = "1.0.0"
 
@@ -42,6 +44,7 @@ __all__ = [
     "graphs",
     "kernels",
     "nn",
+    "parallel",
     "perf",
     "sim",
     "tensors",

@@ -5,7 +5,9 @@ Subcommands:
 * ``datasets`` — print the Table-3 twin statistics.
 * ``speedup`` — Figure-11-style speedup column for one dataset.
 * ``characterize`` — the full Table-4 layout for one or more datasets.
-* ``train`` — full-batch training demo on a twin.
+* ``train`` — full-batch training demo on a twin (``--workers N
+  --backend {serial,thread,process}`` runs aggregation on real workers).
+* ``bench-parallel`` — worker-count sweep of the chunk executor.
 * ``experiment`` — run one named paper artifact (fig2 ... tab5).
 """
 
@@ -70,6 +72,25 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return parsed
+
+
+def _make_aggregation_kernel(backend: str, workers: int, task_size: int = 64):
+    """Optional multi-worker BasicKernel for the --workers/--backend flags."""
+    if backend == "serial" and workers == 1:
+        return None
+    from .kernels import BasicKernel
+    from .parallel import ChunkExecutor
+
+    return BasicKernel(
+        task_size=task_size, executor=ChunkExecutor(backend, workers)
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from .graphs import load_dataset, synthetic_features
     from .nn import Adam, Trainer, build_model
@@ -83,10 +104,69 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.model, args.features, args.hidden, args.classes,
         num_layers=args.layers, dropout=args.dropout, seed=args.seed,
     )
-    trainer = Trainer(model, Adam(model, lr=args.lr), profile_sparsity=True)
+    kernel = _make_aggregation_kernel(args.backend, args.workers)
+    if kernel is not None:
+        print(f"aggregation: basic kernel, {args.backend} x{args.workers}")
+    trainer = Trainer(
+        model, Adam(model, lr=args.lr), profile_sparsity=True,
+        aggregation_kernel=kernel,
+    )
     history = trainer.fit(graph, features, labels, epochs=args.epochs, verbose=True)
     print("\nhidden-feature sparsity (Section 2.2):")
     print(history.sparsity.summary())
+    return 0
+
+
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    from .bench.harness import Experiment
+    from .graphs import load_dataset, synthetic_features
+    from .kernels import (
+        BasicKernel,
+        CompressedFusedKernel,
+        CompressedKernel,
+        FusedKernel,
+        UpdateParams,
+    )
+    from .parallel import ChunkExecutor
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    h = synthetic_features(graph, args.features, seed=args.seed, sparsity=0.5)
+    rng = np.random.default_rng(args.seed)
+    params = UpdateParams(
+        weight=(rng.standard_normal((args.features, args.hidden)) * 0.1).astype(
+            np.float32
+        ),
+        bias=np.zeros(args.hidden, dtype=np.float32),
+    )
+    exp = Experiment(
+        "bench-parallel",
+        f"{args.kernel} kernel on {args.dataset} ({args.backend} backend)",
+        )
+    for workers in args.workers:
+        if args.backend == "serial" and workers != 1:
+            exp.note(f"skipping workers={workers}: serial backend runs one worker")
+            continue
+        executor = ChunkExecutor(args.backend, workers)
+        if args.kernel == "basic":
+            kernel = BasicKernel(task_size=args.task_size, executor=executor)
+            _, stats = kernel.aggregate(graph, h, args.aggregator)
+        elif args.kernel == "compression":
+            kernel = CompressedKernel(task_size=args.task_size, executor=executor)
+            _, stats = kernel.aggregate(graph, h, args.aggregator)
+        elif args.kernel == "fusion":
+            kernel = FusedKernel(executor=executor)
+            _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
+        else:  # combined
+            kernel = CompressedFusedKernel(executor=executor)
+            _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
+        report = kernel.last_report
+        exp.add(f"{workers} workers wall time", report.wall_time_s, unit="s")
+        exp.add(f"{workers} workers imbalance", report.imbalance, unit="x")
+        chunks = ",".join(str(c) for c in report.chunks_per_worker)
+        exp.note(
+            f"{workers} workers: {stats.tasks} tasks -> [{chunks}] chunks/worker"
+        )
+    print(exp.render())
     return 0
 
 
@@ -169,7 +249,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=5)
     p.add_argument("--lr", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=_positive_int, default=1)
+    p.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="serial"
+    )
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "bench-parallel", help="worker-count sweep of the chunk executor"
+    )
+    p.add_argument("dataset", choices=["products", "wikipedia", "papers", "twitter"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument(
+        "--kernel",
+        choices=["basic", "fusion", "compression", "combined"],
+        default="basic",
+    )
+    p.add_argument(
+        "--aggregator", choices=["gcn", "sage-mean", "mean"], default="gcn"
+    )
+    p.add_argument("--features", type=int, default=32)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--task-size", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=_positive_int, nargs="+", default=[1, 2, 4])
+    p.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="thread"
+    )
+    p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")

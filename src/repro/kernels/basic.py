@@ -9,6 +9,12 @@ The paper's ``basic`` kernel:
   restricted to the first two cache lines of each feature vector because
   the L1 fill buffers are usually full (Section 4.1),
 * runs a JIT-specialized inner kernel per layer spec.
+
+The chunk loop itself executes on :class:`repro.parallel.ChunkExecutor`:
+by default a single serial worker, or real ``thread`` / ``process``
+workers when an executor is supplied.  Every backend is bitwise
+equivalent — each vertex row is produced by the same specialized closure
+whichever worker runs its chunk.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from .base import AggregationKernel, KernelStats, validate_inputs
 from .jit import JitKernelCache, KernelSpec
+from ..parallel.executor import ChunkExecutor, ExecutionReport
+from ..parallel.plan import build_chunk_plan
+from ..parallel.workload import BasicAggregationWorkload
 
 #: Default task size T (vertices per parallel task).
 DEFAULT_TASK_SIZE = 64
@@ -40,6 +49,7 @@ class BasicKernel(AggregationKernel):
         task_size: int = DEFAULT_TASK_SIZE,
         prefetch_distance: int = DEFAULT_PREFETCH_DISTANCE,
         jit_cache: Optional[JitKernelCache] = None,
+        executor: Optional[ChunkExecutor] = None,
     ) -> None:
         if task_size <= 0:
             raise ValueError(f"task_size must be positive, got {task_size}")
@@ -48,6 +58,8 @@ class BasicKernel(AggregationKernel):
         self.task_size = task_size
         self.prefetch_distance = prefetch_distance
         self.jit_cache = jit_cache or JitKernelCache()
+        self.executor = executor or ChunkExecutor()
+        self.last_report: Optional[ExecutionReport] = None
 
     name = "basic"
 
@@ -74,24 +86,20 @@ class BasicKernel(AggregationKernel):
         inner = self.jit_cache.specialize(
             graph, KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
         )
-        out = np.empty_like(h, dtype=np.float32)
-        stats = KernelStats()
+        workload = BasicAggregationWorkload(
+            graph,
+            h,
+            aggregator,
+            order,
+            prefetch_distance=self.prefetch_distance,
+            prefetch_lines=PREFETCH_LINES_PER_VECTOR,
+        )
+        # In-process backends reuse the cached closure; process workers
+        # rebuild it from the pickled workload (prepare()).
+        workload.attach_inner(inner)
+        plan = build_chunk_plan(graph, self.task_size, order)
+        outputs, stats, report = self.executor.run(workload, plan)
+        self.last_report = report
         stats.jit_compilations = self.jit_cache.compilations - compiled_before
-
-        degs = graph.degrees()
-        for task_start in range(0, n, self.task_size):
-            stats.tasks += 1
-            task_end = min(task_start + self.task_size, n)
-            for pos in range(task_start, task_end):
-                v = int(order[pos])
-                out[v] = inner(h, v)
-                stats.gathers += int(degs[v]) + 1
-                # Prefetch the first lines of the vertex D ahead (Line 9).
-                ahead = pos + self.prefetch_distance
-                if self.prefetch_distance and ahead < n:
-                    v_ahead = int(order[ahead])
-                    stats.prefetches += (
-                        (int(degs[v_ahead]) + 1) * PREFETCH_LINES_PER_VECTOR
-                    )
         stats.flops = 2.0 * stats.gathers * h.shape[1]
-        return out, stats
+        return outputs["out"], stats

@@ -5,6 +5,10 @@ mask-compressed form of :mod:`repro.tensors.compression`, decompress each
 gathered row on the fly, and track the DRAM bytes the compression avoids.
 The numerics are bit-identical to the dense kernels — compression is
 lossless by construction.
+
+The per-vertex loop is the same chunk body as the dense kernels, so both
+compressed variants dispatch through :class:`repro.parallel.ChunkExecutor`
+and run on ``thread`` / ``process`` workers unchanged.
 """
 
 from __future__ import annotations
@@ -14,7 +18,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..nn.aggregate import normalization_factors
 from ..tensors.compression import (
     CompressedMatrix,
     compress_matrix,
@@ -27,7 +30,11 @@ from .base import (
     UpdateParams,
     validate_inputs,
 )
+from .basic import DEFAULT_TASK_SIZE
 from .fused import DEFAULT_BLOCK_SIZE, DEFAULT_BLOCKS_PER_TASK
+from ..parallel.executor import ChunkExecutor, ExecutionReport
+from ..parallel.plan import build_chunk_plan
+from ..parallel.workload import BasicAggregationWorkload, FusedLayerWorkload
 
 
 def _compression_savings(compressed: CompressedMatrix, gathers_per_row: np.ndarray) -> float:
@@ -46,6 +53,17 @@ class CompressedKernel(AggregationKernel):
 
     name = "compression"
 
+    def __init__(
+        self,
+        task_size: int = DEFAULT_TASK_SIZE,
+        executor: Optional[ChunkExecutor] = None,
+    ) -> None:
+        if task_size <= 0:
+            raise ValueError(f"task_size must be positive, got {task_size}")
+        self.task_size = task_size
+        self.executor = executor or ChunkExecutor()
+        self.last_report: Optional[ExecutionReport] = None
+
     def aggregate(
         self,
         graph: CSRGraph,
@@ -58,28 +76,21 @@ class CompressedKernel(AggregationKernel):
         if order is None:
             order = np.arange(n, dtype=np.int64)
         compressed = compress_matrix(h)
-        stats = KernelStats(compressed_rows=n)
         # Decompress-on-gather: restore the dense matrix once (the value
         # plane's equivalent of per-gather mask expansion) and count every
         # gathered row as one expansion.
         dense = decompress_matrix(compressed)
-        edge_factors, self_factors = normalization_factors(graph, aggregator)
-        out = np.empty_like(h, dtype=np.float32)
-        degs = graph.degrees()
-        for pos in range(n):
-            v = int(order[pos])
-            s, e = graph.indptr[v], graph.indptr[v + 1]
-            row = graph.indices[s:e]
-            acc = dense[v] * self_factors[v]
-            if len(row):
-                acc = acc + (dense[row] * edge_factors[s:e, None]).sum(axis=0)
-            out[v] = acc
-            stats.gathers += len(row) + 1
-            stats.decompressed_rows += len(row) + 1
+        workload = BasicAggregationWorkload(
+            graph, dense, aggregator, order, count_decompressed=True
+        )
+        plan = build_chunk_plan(graph, self.task_size, order)
+        outputs, stats, report = self.executor.run(workload, plan)
+        self.last_report = report
+        stats.compressed_rows = n
         gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
         stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
         stats.flops = 2.0 * stats.gathers * h.shape[1]
-        return out, stats
+        return outputs["out"], stats
 
 
 class CompressedFusedKernel(FusedLayerKernel):
@@ -91,9 +102,14 @@ class CompressedFusedKernel(FusedLayerKernel):
         self,
         block_size: int = DEFAULT_BLOCK_SIZE,
         blocks_per_task: int = DEFAULT_BLOCKS_PER_TASK,
+        executor: Optional[ChunkExecutor] = None,
     ) -> None:
+        if block_size <= 0 or blocks_per_task <= 0:
+            raise ValueError("block_size and blocks_per_task must be positive")
         self.block_size = block_size
         self.blocks_per_task = blocks_per_task
+        self.executor = executor or ChunkExecutor()
+        self.last_report: Optional[ExecutionReport] = None
 
     def run_layer(
         self,
@@ -105,44 +121,39 @@ class CompressedFusedKernel(FusedLayerKernel):
         order: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, Optional[np.ndarray], KernelStats]:
         validate_inputs(graph, h)
+        if params.weight.shape[0] != h.shape[1]:
+            raise ValueError(
+                f"weight rows {params.weight.shape[0]} != features {h.shape[1]}"
+            )
         n = graph.num_vertices
         if order is None:
             order = np.arange(n, dtype=np.int64)
         compressed = compress_matrix(h)
         dense = decompress_matrix(compressed)
-        edge_factors, self_factors = normalization_factors(graph, aggregator)
-        f_out = params.weight.shape[1]
-        h_out = np.empty((n, f_out), dtype=np.float32)
-        a_full = np.empty_like(h, dtype=np.float32) if keep_aggregation else None
-        buffer = np.empty((self.block_size, h.shape[1]), dtype=np.float32)
-        stats = KernelStats(compressed_rows=n)
-        stats.peak_buffer_bytes = a_full.nbytes if a_full is not None else buffer.nbytes
-        degs = graph.degrees()
-
-        for block_start in range(0, n, self.block_size):
-            stats.blocks += 1
-            count = min(self.block_size, n - block_start)
-            scratch = buffer[:count]
-            for m in range(count):
-                v = int(order[block_start + m])
-                s, e = graph.indptr[v], graph.indptr[v + 1]
-                row = graph.indices[s:e]
-                acc = dense[v] * self_factors[v]
-                if len(row):
-                    acc = acc + (dense[row] * edge_factors[s:e, None]).sum(axis=0)
-                scratch[m] = acc
-                stats.gathers += int(degs[v]) + 1
-                stats.decompressed_rows += int(degs[v]) + 1
-            if keep_aggregation:
-                for m in range(count):
-                    a_full[int(order[block_start + m])] = scratch[m]
-            updated = params.apply(scratch)
-            for m in range(count):
-                h_out[int(order[block_start + m])] = updated[m]
-
+        workload = FusedLayerWorkload(
+            graph,
+            dense,
+            params,
+            aggregator,
+            order,
+            block_size=self.block_size,
+            keep_aggregation=keep_aggregation,
+            count_decompressed=True,
+        )
+        plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
+        outputs, stats, report = self.executor.run(workload, plan)
+        self.last_report = report
+        a_full = outputs.get("a") if keep_aggregation else None
+        stats.compressed_rows = n
+        stats.peak_buffer_bytes = (
+            a_full.nbytes
+            if a_full is not None
+            else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
+        )
         gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
         stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
+        f_out = params.weight.shape[1]
         stats.flops = (
             2.0 * stats.gathers * h.shape[1] + 2.0 * n * h.shape[1] * f_out
         )
-        return h_out, a_full, stats
+        return outputs["h_out"], a_full, stats

@@ -9,6 +9,10 @@ highlights (Figure 5):
 * in inference, one reusable buffer of ``B`` rows replaces the whole
   ``a`` matrix — :class:`KernelStats.peak_buffer_bytes` proves the
   footprint reduction.
+
+Tasks are dispatched through :class:`repro.parallel.ChunkExecutor`; the
+``thread`` and ``process`` backends run Algorithm 2's task loop on real
+workers with bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -21,6 +25,9 @@ from ..graphs.csr import CSRGraph
 from .base import FusedLayerKernel, KernelStats, UpdateParams, validate_inputs
 from .basic import DEFAULT_PREFETCH_DISTANCE, PREFETCH_LINES_PER_VECTOR
 from .jit import JitKernelCache, KernelSpec
+from ..parallel.executor import ChunkExecutor, ExecutionReport
+from ..parallel.plan import build_chunk_plan
+from ..parallel.workload import FusedLayerWorkload
 
 #: Default block size B: sized so a block of 256-float rows stays in L2.
 DEFAULT_BLOCK_SIZE = 32
@@ -40,6 +47,7 @@ class FusedKernel(FusedLayerKernel):
         blocks_per_task: int = DEFAULT_BLOCKS_PER_TASK,
         prefetch_distance: int = DEFAULT_PREFETCH_DISTANCE,
         jit_cache: Optional[JitKernelCache] = None,
+        executor: Optional[ChunkExecutor] = None,
     ) -> None:
         if block_size <= 0 or blocks_per_task <= 0:
             raise ValueError("block_size and blocks_per_task must be positive")
@@ -47,6 +55,8 @@ class FusedKernel(FusedLayerKernel):
         self.blocks_per_task = blocks_per_task
         self.prefetch_distance = prefetch_distance
         self.jit_cache = jit_cache or JitKernelCache()
+        self.executor = executor or ChunkExecutor()
+        self.last_report: Optional[ExecutionReport] = None
 
     def run_layer(
         self,
@@ -72,53 +82,33 @@ class FusedKernel(FusedLayerKernel):
         inner = self.jit_cache.specialize(
             graph, KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
         )
-        f_out = params.weight.shape[1]
-        h_out = np.empty((n, f_out), dtype=np.float32)
-        a_full = np.empty_like(h, dtype=np.float32) if keep_aggregation else None
-        # Inference: one reusable B-row buffer (Figure 5c).  Training: the
-        # full a matrix must survive for backward (Figure 5b).
-        buffer = np.empty((self.block_size, h.shape[1]), dtype=np.float32)
-
-        stats = KernelStats()
-        stats.jit_compilations = self.jit_cache.compilations - compiled_before
-        stats.peak_buffer_bytes = (
-            a_full.nbytes if a_full is not None else buffer.nbytes
+        workload = FusedLayerWorkload(
+            graph,
+            h,
+            params,
+            aggregator,
+            order,
+            block_size=self.block_size,
+            keep_aggregation=keep_aggregation,
+            prefetch_distance=self.prefetch_distance,
+            prefetch_lines=PREFETCH_LINES_PER_VECTOR,
         )
-        degs = graph.degrees()
-        task_span = self.block_size * self.blocks_per_task
-
-        for task_start in range(0, n, task_span):
-            stats.tasks += 1
-            for block_start in range(
-                task_start, min(task_start + task_span, n), self.block_size
-            ):
-                stats.blocks += 1
-                block_end = min(block_start + self.block_size, n)
-                count = block_end - block_start
-                # Aggregation phase of the block (Alg. 2 lines 3-7).
-                scratch = np.empty((count, h.shape[1]), dtype=np.float32)
-                for m in range(count):
-                    v = int(order[block_start + m])
-                    scratch[m] = inner(h, v)
-                    stats.gathers += int(degs[v]) + 1
-                    ahead = block_start + m + self.prefetch_distance
-                    if self.prefetch_distance and ahead < n:
-                        v_ahead = int(order[ahead])
-                        stats.prefetches += (
-                            (int(degs[v_ahead]) + 1) * PREFETCH_LINES_PER_VECTOR
-                        )
-                if keep_aggregation:
-                    for m in range(count):
-                        a_full[int(order[block_start + m])] = scratch[m]
-                else:
-                    buffer[:count] = scratch
-                # Update phase of the block (Alg. 2 lines 8-10): small GEMM.
-                updated = params.apply(scratch[:count])
-                for m in range(count):
-                    h_out[int(order[block_start + m])] = updated[m]
+        workload.attach_inner(inner)
+        plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
+        outputs, stats, report = self.executor.run(workload, plan)
+        self.last_report = report
+        a_full = outputs.get("a") if keep_aggregation else None
+        stats.jit_compilations = self.jit_cache.compilations - compiled_before
+        # Inference: one reusable B-row buffer per worker (Figure 5c).
+        # Training: the full a matrix must survive for backward (Fig. 5b).
+        stats.peak_buffer_bytes = (
+            a_full.nbytes
+            if a_full is not None
+            else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
+        )
+        f_out = params.weight.shape[1]
         stats.flops = (
             2.0 * stats.gathers * h.shape[1]
             + 2.0 * n * h.shape[1] * f_out
         )
-        return h_out, a_full, stats
-
+        return outputs["h_out"], a_full, stats

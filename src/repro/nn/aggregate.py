@@ -27,6 +27,14 @@ from ..graphs.csr import CSRGraph
 #: Aggregators the library (and the DMA engine's bin_op/red_op) support.
 AGGREGATORS = ("gcn", "mean", "sum", "max")
 
+#: Accepted spellings that map onto a canonical aggregator.
+AGGREGATOR_ALIASES = {"sage-mean": "mean"}
+
+
+def canonical_aggregator(aggregator: str) -> str:
+    """Resolve aliases (``sage-mean`` -> ``mean``) to canonical names."""
+    return AGGREGATOR_ALIASES.get(aggregator, aggregator)
+
 
 def normalization_factors(graph: CSRGraph, aggregator: str) -> Tuple[np.ndarray, np.ndarray]:
     """Per-edge and per-self factor arrays for an aggregator.
@@ -37,6 +45,7 @@ def normalization_factors(graph: CSRGraph, aggregator: str) -> Tuple[np.ndarray,
         DMA ``FACTOR`` pointer expects — Figure 9b), ``self_factors`` has
         one scale per vertex for the implicit self edge.
     """
+    aggregator = canonical_aggregator(aggregator)
     degs = graph.degrees().astype(np.float64)
     d_hat = degs + 1.0
     dst = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
@@ -79,6 +88,7 @@ def aggregate(graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn") -> np.nda
         raise ValueError(
             f"feature rows {h.shape[0]} != num_vertices {graph.num_vertices}"
         )
+    aggregator = canonical_aggregator(aggregator)
     if aggregator == "max":
         return _aggregate_max(graph, h)
     a_hat = normalized_adjacency(graph, aggregator)
@@ -92,6 +102,7 @@ def aggregate_backward(
 
     ``a = Â h`` implies ``dL/dh = Â^T dL/da``.
     """
+    aggregator = canonical_aggregator(aggregator)
     if aggregator == "max":
         raise NotImplementedError("max aggregation has no linear backward")
     a_hat = normalized_adjacency(graph, aggregator)

@@ -15,8 +15,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..kernels.base import AggregationKernel
 from . import functional as F
-from .aggregate import aggregate, aggregate_backward
+from .aggregate import aggregate, aggregate_backward, canonical_aggregator
 
 
 @dataclass
@@ -63,6 +64,7 @@ class GNNLayer:
         dropout: float = 0.0,
         seed: int = 0,
     ) -> None:
+        aggregator = canonical_aggregator(aggregator)
         if aggregator not in ("gcn", "mean"):
             raise ValueError(
                 f"aggregator must be one of ('gcn', 'mean'), got {aggregator!r}"
@@ -81,15 +83,27 @@ class GNNLayer:
 
     # ------------------------------------------------------------------
     def forward(
-        self, graph: CSRGraph, h_in: np.ndarray, training: bool = False
+        self,
+        graph: CSRGraph,
+        h_in: np.ndarray,
+        training: bool = False,
+        kernel: Optional[AggregationKernel] = None,
     ) -> "tuple[np.ndarray, LayerCache]":
-        """Aggregation then update; returns (h_out, cache)."""
+        """Aggregation then update; returns (h_out, cache).
+
+        ``kernel`` swaps the SpMM oracle for one of the optimized
+        execution strategies (e.g. a multi-worker ``BasicKernel``); the
+        update GEMM and the cache layout are unchanged.
+        """
         if h_in.shape[1] != self.in_features:
             raise ValueError(
                 f"expected {self.in_features} input features, got {h_in.shape[1]}"
             )
         h_dropped, mask = F.dropout(h_in, self.dropout, self._rng, training=training)
-        a = aggregate(graph, h_dropped, self.aggregator)
+        if kernel is not None:
+            a, _ = kernel.aggregate(graph, h_dropped, self.aggregator)
+        else:
+            a = aggregate(graph, h_dropped, self.aggregator)
         pre = a @ self.weight + self.bias
         h_out = F.relu(pre) if self.activation else pre
         cache = LayerCache(

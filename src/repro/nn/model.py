@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..kernels.base import AggregationKernel
 from .layers import GNNLayer, LayerCache, LayerGrads
 
 
@@ -35,13 +36,22 @@ class GNNModel:
 
     # ------------------------------------------------------------------
     def forward(
-        self, graph: CSRGraph, features: np.ndarray, training: bool = False
+        self,
+        graph: CSRGraph,
+        features: np.ndarray,
+        training: bool = False,
+        kernel: Optional[AggregationKernel] = None,
     ) -> Tuple[np.ndarray, List[LayerCache]]:
-        """Full forward pass; returns logits and per-layer caches."""
+        """Full forward pass; returns logits and per-layer caches.
+
+        ``kernel`` routes every layer's aggregation through an optimized
+        execution strategy (possibly multi-worker) instead of the SpMM
+        oracle.
+        """
         h = features
         caches: List[LayerCache] = []
         for layer in self.layers:
-            h, cache = layer.forward(graph, h, training=training)
+            h, cache = layer.forward(graph, h, training=training, kernel=kernel)
             caches.append(cache)
         return h, caches
 
@@ -59,9 +69,14 @@ class GNNModel:
             grad = layer_grads.h_in
         return grads  # type: ignore[return-value]
 
-    def predict(self, graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        graph: CSRGraph,
+        features: np.ndarray,
+        kernel: Optional[AggregationKernel] = None,
+    ) -> np.ndarray:
         """Inference-mode logits (no dropout, caches discarded)."""
-        logits, _ = self.forward(graph, features, training=False)
+        logits, _ = self.forward(graph, features, training=False, kernel=kernel)
         return logits
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..kernels.base import AggregationKernel
 from ..tensors.sparsity import SparsityProfile
 from . import functional as F
 from .model import GNNModel
@@ -57,6 +58,10 @@ class Trainer:
         optimizer: parameter update rule.
         profile_sparsity: record per-layer input sparsity each epoch —
             the Section 2.2 measurement that motivates feature compression.
+        aggregation_kernel: optional optimized execution strategy (e.g. a
+            ``BasicKernel`` on a multi-worker ``ChunkExecutor``) used for
+            every forward aggregation; the backward pass stays on the
+            transpose-SpMM oracle, which no kernel variant restructures.
     """
 
     def __init__(
@@ -64,10 +69,12 @@ class Trainer:
         model: GNNModel,
         optimizer: Optimizer,
         profile_sparsity: bool = False,
+        aggregation_kernel: Optional[AggregationKernel] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.profile_sparsity = profile_sparsity
+        self.aggregation_kernel = aggregation_kernel
         self.history = TrainingHistory()
 
     def train_epoch(
@@ -79,7 +86,9 @@ class Trainer:
         val_mask: Optional[np.ndarray] = None,
     ) -> EpochResult:
         """One forward + backward + step over the whole graph."""
-        logits, caches = self.model.forward(graph, features, training=True)
+        logits, caches = self.model.forward(
+            graph, features, training=True, kernel=self.aggregation_kernel
+        )
         if self.profile_sparsity:
             for layer_idx, cache in enumerate(caches):
                 self.history.sparsity.record(layer_idx, cache.h_in)
@@ -125,9 +134,14 @@ class Trainer:
         return self.history
 
 
-def inference(model: GNNModel, graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+def inference(
+    model: GNNModel,
+    graph: CSRGraph,
+    features: np.ndarray,
+    kernel: Optional[AggregationKernel] = None,
+) -> np.ndarray:
     """Full-batch inference: logits for every vertex."""
-    return model.predict(graph, features)
+    return model.predict(graph, features, kernel=kernel)
 
 
 def train_val_split(

@@ -1,0 +1,256 @@
+"""Multi-worker chunk execution — Section 4.1's parallel loop, for real.
+
+The chunk plan decides *what* runs where; this module actually runs it.
+Three backends share one contract:
+
+* ``serial`` — one worker, in-process; the reference execution.
+* ``thread`` — one Python thread per worker.  Workers write their chunk
+  rows directly into the shared output arrays; because every chunk owns
+  a disjoint row slice (output parallelism), no locking is needed.
+* ``process`` — a process pool.  The workload is pickled once per
+  worker (runtime closures are rebuilt there); chunk rows travel back
+  to the parent, which performs the same disjoint writes.
+
+All three produce bitwise-identical outputs: each vertex's row is
+computed by the same specialized closure regardless of which worker runs
+it, and the deterministic chunk assignment makes the per-worker stats
+(including per-worker chunk counts) identical run-to-run.  Merging
+happens in worker-id order so the accumulated floating-point counters
+are reproducible too.  Wall-clock time is recorded in
+``KernelStats.extra["wall_time_s"]`` — it is a measurement, not a work
+counter, and is the one entry that legitimately varies between runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kernels.base import KernelStats
+from .plan import Chunk, ChunkPlan, assign_chunks
+from .workload import ChunkWorkload
+
+#: Execution backends, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class WorkerReport:
+    """What one worker did: its chunks, vertices, counters, and time."""
+
+    worker_id: int
+    num_chunks: int
+    num_vertices: int
+    elapsed_s: float
+    stats: KernelStats = field(default_factory=KernelStats)
+
+
+@dataclass
+class ExecutionReport:
+    """One executor invocation: per-worker reports plus wall time."""
+
+    backend: str
+    workers: int
+    wall_time_s: float
+    worker_reports: List[WorkerReport] = field(default_factory=list)
+
+    @property
+    def chunks_per_worker(self) -> List[int]:
+        return [report.num_chunks for report in self.worker_reports]
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean executed gather work — 1.0 is perfect balance."""
+        work = np.array(
+            [report.stats.gathers for report in self.worker_reports], dtype=np.float64
+        )
+        if len(work) == 0 or work.mean() == 0:
+            return 1.0
+        return float(work.max() / work.mean())
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker entry points (module level: must be picklable).
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, ChunkWorkload] = {}
+
+
+def _process_init(workload: ChunkWorkload) -> None:
+    workload.prepare()
+    _WORKER_STATE["workload"] = workload
+
+
+def _process_run(worker_id: int, chunks: List[Chunk]):
+    workload = _WORKER_STATE["workload"]
+    start = time.perf_counter()
+    stats = KernelStats()
+    writes = []
+    for chunk in chunks:
+        chunk_writes, chunk_stats = workload.run_chunk(chunk)
+        writes.append(chunk_writes)
+        stats.merge(chunk_stats)
+    return worker_id, writes, stats, time.perf_counter() - start
+
+
+class ChunkExecutor:
+    """Runs a chunk plan on one of the three backends.
+
+    Args:
+        backend: ``serial``, ``thread``, or ``process``.
+        workers: number of workers; must be 1 for ``serial``.
+    """
+
+    def __init__(self, backend: str = "serial", workers: int = 1) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if backend == "serial" and workers != 1:
+            raise ValueError("serial backend runs exactly one worker")
+        self.backend = backend
+        self.workers = workers
+        self.last_report: Optional[ExecutionReport] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChunkExecutor(backend={self.backend!r}, workers={self.workers})"
+
+    # ------------------------------------------------------------------
+    def run(
+        self, workload: ChunkWorkload, plan: ChunkPlan
+    ) -> Tuple[Dict[str, np.ndarray], KernelStats, ExecutionReport]:
+        """Execute every chunk; return (outputs, merged stats, report)."""
+        outputs = {
+            name: np.empty(shape, dtype=dtype)
+            for name, (shape, dtype) in workload.output_specs().items()
+        }
+        assignment = assign_chunks(plan, self.workers)
+        wall_start = time.perf_counter()
+        if self.backend == "process" and plan.num_chunks:
+            reports = self._run_process(workload, assignment, outputs)
+        elif self.backend == "thread" and self.workers > 1:
+            reports = self._run_threads(workload, assignment, outputs)
+        else:
+            reports = self._run_serial(workload, assignment, outputs)
+        wall_time = time.perf_counter() - wall_start
+
+        reports.sort(key=lambda report: report.worker_id)
+        merged = KernelStats()
+        for report in reports:
+            merged.merge(report.stats)
+        merged.extra["workers"] = float(self.workers)
+        merged.extra["wall_time_s"] = wall_time
+        for report in reports:
+            merged.extra[f"worker{report.worker_id}_chunks"] = float(report.num_chunks)
+        execution = ExecutionReport(
+            backend=self.backend,
+            workers=self.workers,
+            wall_time_s=wall_time,
+            worker_reports=reports,
+        )
+        self.last_report = execution
+        return outputs, merged, execution
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _consume(
+        workload: ChunkWorkload,
+        worker_id: int,
+        chunks: List[Chunk],
+        outputs: Dict[str, np.ndarray],
+    ) -> WorkerReport:
+        """Run one worker's chunk list in-process, writing disjoint rows."""
+        start = time.perf_counter()
+        stats = KernelStats()
+        vertices = 0
+        for chunk in chunks:
+            writes, chunk_stats = workload.run_chunk(chunk)
+            for name, (idx, rows) in writes.items():
+                outputs[name][idx] = rows
+            stats.merge(chunk_stats)
+            vertices += chunk.num_vertices
+        return WorkerReport(
+            worker_id=worker_id,
+            num_chunks=len(chunks),
+            num_vertices=vertices,
+            elapsed_s=time.perf_counter() - start,
+            stats=stats,
+        )
+
+    def _run_serial(self, workload, assignment, outputs) -> List[WorkerReport]:
+        workload.prepare()
+        return [
+            self._consume(workload, worker_id, chunks, outputs)
+            for worker_id, chunks in enumerate(assignment)
+        ]
+
+    def _run_threads(self, workload, assignment, outputs) -> List[WorkerReport]:
+        workload.prepare()  # workers share the read-only runtime state
+        reports: List[Optional[WorkerReport]] = [None] * self.workers
+        errors: List[BaseException] = []
+
+        def body(worker_id: int, chunks: List[Chunk]) -> None:
+            try:
+                reports[worker_id] = self._consume(workload, worker_id, chunks, outputs)
+            except BaseException as exc:  # surface worker failures
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(worker_id, chunks), daemon=True)
+            for worker_id, chunks in enumerate(assignment)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [report for report in reports if report is not None]
+
+    def _run_process(self, workload, assignment, outputs) -> List[WorkerReport]:
+        reports: List[WorkerReport] = []
+        busy = [
+            (worker_id, chunks)
+            for worker_id, chunks in enumerate(assignment)
+            if chunks
+        ]
+        idle = [worker_id for worker_id, chunks in enumerate(assignment) if not chunks]
+        with ProcessPoolExecutor(
+            max_workers=max(1, len(busy)),
+            initializer=_process_init,
+            initargs=(workload,),
+        ) as pool:
+            futures = [
+                pool.submit(_process_run, worker_id, chunks)
+                for worker_id, chunks in busy
+            ]
+            for future in futures:
+                worker_id, writes, stats, elapsed = future.result()
+                for chunk_writes in writes:
+                    for name, (idx, rows) in chunk_writes.items():
+                        outputs[name][idx] = rows
+                chunks = assignment[worker_id]
+                reports.append(
+                    WorkerReport(
+                        worker_id=worker_id,
+                        num_chunks=len(chunks),
+                        num_vertices=sum(chunk.num_vertices for chunk in chunks),
+                        elapsed_s=elapsed,
+                        stats=stats,
+                    )
+                )
+        for worker_id in idle:
+            reports.append(
+                WorkerReport(
+                    worker_id=worker_id,
+                    num_chunks=0,
+                    num_vertices=0,
+                    elapsed_s=0.0,
+                    stats=KernelStats(),
+                )
+            )
+        return reports

@@ -1,0 +1,212 @@
+"""Per-chunk workloads: the kernel bodies the executor dispatches.
+
+A :class:`ChunkWorkload` is a picklable description of what one chunk of
+Algorithm 1/2's parallel loop computes.  The split mirrors the paper's
+execution model:
+
+* the *plan* (``repro.parallel.plan``) decides which vertices each task
+  owns and which worker runs it;
+* the *workload* computes one chunk's disjoint output rows and counts
+  the work in a private :class:`KernelStats`;
+* the *executor* (``repro.parallel.executor``) runs chunks concurrently
+  and merges the per-worker stats deterministically.
+
+Workloads must be picklable so the ``process`` backend can ship them to
+worker processes.  Runtime-only state (JIT closures, factor arrays) is
+kept in attributes prefixed ``_rt_`` which are stripped from the pickled
+state; each worker rebuilds them once via :meth:`ChunkWorkload.prepare`,
+matching the paper's claim that specialization cost is amortized because
+"the code is tailored to the model but not the data".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..kernels.base import KernelStats, UpdateParams
+from ..kernels.jit import InnerKernel, JitKernelCache, KernelSpec
+from .plan import Chunk
+
+#: One chunk's output: name -> (vertex ids, rows to write at those ids).
+ChunkWrites = Dict[str, Tuple[np.ndarray, np.ndarray]]
+
+
+class ChunkWorkload:
+    """Base class: the per-chunk body of one kernel invocation."""
+
+    def output_specs(self) -> Dict[str, Tuple[Tuple[int, ...], np.dtype]]:
+        """Name -> (shape, dtype) of every output array to allocate."""
+        raise NotImplementedError
+
+    def prepare(self) -> None:
+        """Build runtime-only state; called once per worker."""
+
+    def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        """Compute one chunk's disjoint output rows and its work counters."""
+        raise NotImplementedError
+
+    def __getstate__(self):
+        # Runtime state (closures, factor arrays) is rebuilt per worker.
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_rt_")}
+
+
+class BasicAggregationWorkload(ChunkWorkload):
+    """Algorithm 1's chunk body: gather-reduce ``T`` vertices with prefetch.
+
+    Also serves the compressed kernel (Section 4.3): with
+    ``count_decompressed`` set, ``h`` is the decompress-on-gather feature
+    matrix and every gathered row is counted as one mask expansion.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        h: np.ndarray,
+        aggregator: str,
+        order: np.ndarray,
+        prefetch_distance: int = 0,
+        prefetch_lines: int = 2,
+        count_decompressed: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.h = h
+        self.aggregator = aggregator
+        self.order = order
+        self.prefetch_distance = prefetch_distance
+        self.prefetch_lines = prefetch_lines
+        self.count_decompressed = count_decompressed
+
+    def attach_inner(self, inner: InnerKernel) -> None:
+        """Reuse a closure the caller already JIT-specialized."""
+        self._rt_inner = inner
+
+    def prepare(self) -> None:
+        if getattr(self, "_rt_inner", None) is None:
+            cache = JitKernelCache()
+            self._rt_inner = cache.specialize(
+                self.graph,
+                KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator),
+            )
+        self._rt_degs = self.graph.degrees()
+
+    def output_specs(self):
+        return {"out": (self.h.shape, np.dtype(np.float32))}
+
+    def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        inner = self._rt_inner
+        degs = self._rt_degs
+        order = self.order
+        n = len(order)
+        rows = np.empty((chunk.num_vertices, self.h.shape[1]), dtype=np.float32)
+        stats = KernelStats(tasks=1)
+        for m, pos in enumerate(range(chunk.start, chunk.stop)):
+            v = int(order[pos])
+            rows[m] = inner(self.h, v)
+            stats.gathers += int(degs[v]) + 1
+            if self.count_decompressed:
+                stats.decompressed_rows += int(degs[v]) + 1
+            # Prefetch the first lines of the vertex D ahead (Alg. 1 line 9).
+            ahead = pos + self.prefetch_distance
+            if self.prefetch_distance and ahead < n:
+                v_ahead = int(order[ahead])
+                stats.prefetches += (int(degs[v_ahead]) + 1) * self.prefetch_lines
+        return {"out": (order[chunk.start : chunk.stop], rows)}, stats
+
+
+class FusedLayerWorkload(ChunkWorkload):
+    """Algorithm 2's task body: aggregate+update ``T`` blocks of ``B`` rows.
+
+    Each chunk spans ``block_size * blocks_per_task`` vertices; blocks are
+    aggregated into a scratch buffer and immediately updated with the
+    small GEMM, so the ``a`` block never leaves cache.  With
+    ``count_decompressed`` set this is the paper's ``combined`` variant.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        h: np.ndarray,
+        params: UpdateParams,
+        aggregator: str,
+        order: np.ndarray,
+        block_size: int,
+        keep_aggregation: bool = False,
+        prefetch_distance: int = 0,
+        prefetch_lines: int = 2,
+        count_decompressed: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.h = h
+        self.params = params
+        self.aggregator = aggregator
+        self.order = order
+        self.block_size = block_size
+        self.keep_aggregation = keep_aggregation
+        self.prefetch_distance = prefetch_distance
+        self.prefetch_lines = prefetch_lines
+        self.count_decompressed = count_decompressed
+
+    def attach_inner(self, inner: InnerKernel) -> None:
+        self._rt_inner = inner
+
+    def prepare(self) -> None:
+        if getattr(self, "_rt_inner", None) is None:
+            cache = JitKernelCache()
+            self._rt_inner = cache.specialize(
+                self.graph,
+                KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator),
+            )
+        self._rt_degs = self.graph.degrees()
+
+    def output_specs(self):
+        n, f_in = self.h.shape
+        f_out = self.params.weight.shape[1]
+        specs = {"h_out": ((n, f_out), np.dtype(np.float32))}
+        if self.keep_aggregation:
+            specs["a"] = ((n, f_in), np.dtype(np.float32))
+        return specs
+
+    def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        inner = self._rt_inner
+        degs = self._rt_degs
+        order = self.order
+        n = len(order)
+        f_in = self.h.shape[1]
+        stats = KernelStats(tasks=1)
+        h_rows = np.empty(
+            (chunk.num_vertices, self.params.weight.shape[1]), dtype=np.float32
+        )
+        a_rows = (
+            np.empty((chunk.num_vertices, f_in), dtype=np.float32)
+            if self.keep_aggregation
+            else None
+        )
+        for block_start in range(chunk.start, chunk.stop, self.block_size):
+            stats.blocks += 1
+            block_end = min(block_start + self.block_size, chunk.stop)
+            count = block_end - block_start
+            # Aggregation phase of the block (Alg. 2 lines 3-7).
+            scratch = np.empty((count, f_in), dtype=np.float32)
+            for m in range(count):
+                v = int(order[block_start + m])
+                scratch[m] = inner(self.h, v)
+                stats.gathers += int(degs[v]) + 1
+                if self.count_decompressed:
+                    stats.decompressed_rows += int(degs[v]) + 1
+                ahead = block_start + m + self.prefetch_distance
+                if self.prefetch_distance and ahead < n:
+                    v_ahead = int(order[ahead])
+                    stats.prefetches += (int(degs[v_ahead]) + 1) * self.prefetch_lines
+            local = block_start - chunk.start
+            if a_rows is not None:
+                a_rows[local : local + count] = scratch
+            # Update phase of the block (Alg. 2 lines 8-10): small GEMM.
+            h_rows[local : local + count] = self.params.apply(scratch[:count])
+        idx = order[chunk.start : chunk.stop]
+        writes: ChunkWrites = {"h_out": (idx, h_rows)}
+        if a_rows is not None:
+            writes["a"] = (idx, a_rows)
+        return writes, stats

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # samples many minibatch epochs; skip via -m "not slow"
+
 from repro.gpu import epoch_breakdown
 from repro.graphs import load_dataset
 

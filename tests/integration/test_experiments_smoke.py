@@ -6,6 +6,8 @@ the paper reports.  Full-scale numbers live in ``benchmarks/``.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # heavy sim sweeps; skip via -m "not slow"
+
 from repro.bench.figures import (
     BenchContext,
     fig2_gpu_sampling,

@@ -1,0 +1,113 @@
+"""Unit tests for the multi-worker chunk executor."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import power_law_graph, synthetic_features
+from repro.parallel import (
+    BasicAggregationWorkload,
+    ChunkExecutor,
+    build_chunk_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return power_law_graph(240, avg_degree=8.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload_inputs(skewed_graph):
+    h = synthetic_features(skewed_graph, 12, seed=3, sparsity=0.3)
+    order = np.arange(skewed_graph.num_vertices, dtype=np.int64)
+    return h, order
+
+
+def _run(skewed_graph, workload_inputs, backend, workers, task_size=32):
+    h, order = workload_inputs
+    workload = BasicAggregationWorkload(
+        skewed_graph, h, "gcn", order, prefetch_distance=4
+    )
+    plan = build_chunk_plan(skewed_graph, task_size, order)
+    executor = ChunkExecutor(backend, workers)
+    return executor.run(workload, plan)
+
+
+class TestConstruction:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ChunkExecutor("gpu", 2)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ChunkExecutor("thread", 0)
+
+    def test_serial_is_single_worker(self):
+        with pytest.raises(ValueError):
+            ChunkExecutor("serial", 2)
+
+
+@pytest.mark.parametrize(
+    "backend,workers",
+    [("serial", 1), ("thread", 1), ("thread", 3), ("process", 3)],
+)
+class TestRun:
+    def test_outputs_match_serial(self, skewed_graph, workload_inputs, backend, workers):
+        baseline, _, _ = _run(skewed_graph, workload_inputs, "serial", 1)
+        outputs, _, _ = _run(skewed_graph, workload_inputs, backend, workers)
+        assert np.array_equal(outputs["out"], baseline["out"])
+
+    def test_worker_reports_cover_all_chunks(
+        self, skewed_graph, workload_inputs, backend, workers
+    ):
+        _, stats, report = _run(skewed_graph, workload_inputs, backend, workers)
+        assert report.backend == backend
+        assert report.workers == workers
+        assert len(report.worker_reports) == workers
+        assert sum(report.chunks_per_worker) == stats.tasks
+        assert sum(r.num_vertices for r in report.worker_reports) == (
+            skewed_graph.num_vertices
+        )
+
+    def test_stats_record_per_worker_chunks(
+        self, skewed_graph, workload_inputs, backend, workers
+    ):
+        _, stats, report = _run(skewed_graph, workload_inputs, backend, workers)
+        assert stats.extra["workers"] == workers
+        assert stats.extra["wall_time_s"] >= 0.0
+        for worker_id, chunks in enumerate(report.chunks_per_worker):
+            assert stats.extra[f"worker{worker_id}_chunks"] == chunks
+
+    def test_merged_counters_are_schedule_invariant(
+        self, skewed_graph, workload_inputs, backend, workers
+    ):
+        _, serial_stats, _ = _run(skewed_graph, workload_inputs, "serial", 1)
+        _, stats, _ = _run(skewed_graph, workload_inputs, backend, workers)
+        assert stats.gathers == serial_stats.gathers
+        assert stats.prefetches == serial_stats.prefetches
+        assert stats.tasks == serial_stats.tasks
+
+
+class TestLoadBalance:
+    def test_workers_share_the_gather_work(self, skewed_graph, workload_inputs):
+        _, _, report = _run(skewed_graph, workload_inputs, "thread", 4, task_size=8)
+        assert report.imbalance < 1.7  # dynamic scheduling bounds the skew
+        assert all(chunks > 0 for chunks in report.chunks_per_worker)
+
+    def test_more_workers_than_chunks(self, skewed_graph, workload_inputs):
+        n = skewed_graph.num_vertices
+        _, stats, report = _run(
+            skewed_graph, workload_inputs, "process", 4, task_size=n
+        )
+        assert stats.tasks == 1
+        assert sorted(report.chunks_per_worker, reverse=True) == [1, 0, 0, 0]
+
+    def test_worker_failure_propagates(self, skewed_graph, workload_inputs):
+        h, order = workload_inputs
+        bad = synthetic_features(skewed_graph, 9, seed=0)  # wrong feature width
+        workload = BasicAggregationWorkload(skewed_graph, h, "gcn", order)
+        workload.prepare()
+        workload.h = bad  # closure is specialized for 12 features
+        plan = build_chunk_plan(skewed_graph, 32, order)
+        with pytest.raises(ValueError):
+            ChunkExecutor("thread", 2).run(workload, plan)
