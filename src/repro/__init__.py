@@ -21,6 +21,8 @@ The package is organized as the paper is:
 * :mod:`repro.gpu` — the Figure 2 sampled-training substrate.
 * :mod:`repro.bench` — experiment harness; one function per paper
   artifact.
+* :mod:`repro.obs` — run telemetry: hierarchical span tracer, metrics
+  registry, and machine-readable run reports (off by default).
 
 Quickstart::
 
@@ -33,7 +35,7 @@ Quickstart::
     trainer = Trainer(model, Adam(model, lr=0.01))
 """
 
-from . import bench, dma, gpu, graphs, kernels, nn, parallel, perf, sim, tensors
+from . import bench, dma, gpu, graphs, kernels, nn, obs, parallel, perf, sim, tensors
 
 __version__ = "1.0.0"
 
@@ -44,6 +46,7 @@ __all__ = [
     "graphs",
     "kernels",
     "nn",
+    "obs",
     "parallel",
     "perf",
     "sim",

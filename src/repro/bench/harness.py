@@ -9,7 +9,7 @@ the measured ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -36,6 +36,16 @@ class ResultRow:
             if ratio is not None:
                 text += f"   ({ratio:5.2f} of paper)"
         return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable row: label, measured, paper, unit, ratio."""
+        return {
+            "label": self.label,
+            "measured": self.measured,
+            "paper": self.paper,
+            "unit": self.unit,
+            "ratio": self.ratio,
+        }
 
 
 @dataclass
@@ -67,6 +77,16 @@ class Experiment:
         lines += [row.format(width) for row in self.rows]
         lines += [f"   note: {note}" for note in self.notes]
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable experiment: id, title, rows, notes, summary."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [row.to_dict() for row in self.rows],
+            "notes": list(self.notes),
+            "max_paper_deviation": self.max_paper_deviation(),
+        }
 
     # ------------------------------------------------------------------
     def shape_holds(

@@ -6,18 +6,81 @@ Subcommands:
 * ``speedup`` — Figure-11-style speedup column for one dataset.
 * ``characterize`` — the full Table-4 layout for one or more datasets.
 * ``train`` — full-batch training demo on a twin (``--workers N
-  --backend {serial,thread,process}`` runs aggregation on real workers).
-* ``bench-parallel`` — worker-count sweep of the chunk executor.
+  --backend {serial,thread,process}`` runs aggregation on real workers;
+  ``--trace FILE`` / ``--json FILE`` emit run telemetry).
+* ``bench-parallel`` — worker-count sweep of the chunk executor
+  (also accepts ``--trace`` / ``--json``).
+* ``profile`` — trace one tiny synthetic training run end to end and
+  print the span tree, counters, and environment.
 * ``experiment`` — run one named paper artifact (fig2 ... tab5).
+
+Global flags: ``-v/--verbose`` (repeatable), ``-q/--quiet``, and
+``--version``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Map -v/-q counts to the ``repro`` logger level.
+
+    Default WARNING; ``-v`` INFO; ``-vv`` DEBUG; ``-q`` ERROR.
+    """
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity == 0:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace, meta: dict):
+    """Enable run telemetry when ``--trace``/``--json`` was given.
+
+    Yields the live tracer (or None when telemetry stays off) and, on
+    exit, writes the JSONL trace and/or the run-report JSON.
+    """
+    from . import obs
+
+    trace_path = getattr(args, "trace", None)
+    json_path = getattr(args, "json", None)
+    if not trace_path and not json_path:
+        yield None
+        return
+    tracer, metrics = obs.enable()
+    try:
+        yield tracer
+    finally:
+        obs.disable()
+        if trace_path:
+            count = tracer.export_jsonl(trace_path)
+            print(f"wrote {count} spans to {trace_path}")
+        if json_path:
+            obs.write_json(
+                json_path, obs.build_run_report(tracer, metrics, meta=meta)
+            )
+            print(f"wrote run report to {json_path}")
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -111,7 +174,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
         model, Adam(model, lr=args.lr), profile_sparsity=True,
         aggregation_kernel=kernel,
     )
-    history = trainer.fit(graph, features, labels, epochs=args.epochs, verbose=True)
+    meta = {
+        "command": "train",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "model": args.model,
+        "epochs": args.epochs,
+        "workers": args.workers,
+        "backend": args.backend,
+    }
+    with _telemetry(args, meta):
+        history = trainer.fit(
+            graph, features, labels, epochs=args.epochs, verbose=True
+        )
     print("\nhidden-feature sparsity (Section 2.2):")
     print(history.sparsity.summary())
     return 0
@@ -142,31 +217,107 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         "bench-parallel",
         f"{args.kernel} kernel on {args.dataset} ({args.backend} backend)",
         )
-    for workers in args.workers:
-        if args.backend == "serial" and workers != 1:
-            exp.note(f"skipping workers={workers}: serial backend runs one worker")
-            continue
-        executor = ChunkExecutor(args.backend, workers)
-        if args.kernel == "basic":
-            kernel = BasicKernel(task_size=args.task_size, executor=executor)
-            _, stats = kernel.aggregate(graph, h, args.aggregator)
-        elif args.kernel == "compression":
-            kernel = CompressedKernel(task_size=args.task_size, executor=executor)
-            _, stats = kernel.aggregate(graph, h, args.aggregator)
-        elif args.kernel == "fusion":
-            kernel = FusedKernel(executor=executor)
-            _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
-        else:  # combined
-            kernel = CompressedFusedKernel(executor=executor)
-            _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
-        report = kernel.last_report
-        exp.add(f"{workers} workers wall time", report.wall_time_s, unit="s")
-        exp.add(f"{workers} workers imbalance", report.imbalance, unit="x")
-        chunks = ",".join(str(c) for c in report.chunks_per_worker)
-        exp.note(
-            f"{workers} workers: {stats.tasks} tasks -> [{chunks}] chunks/worker"
-        )
+    meta = {
+        "command": "bench-parallel",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "kernel": args.kernel,
+        "backend": args.backend,
+        "workers": list(args.workers),
+    }
+    with _telemetry(args, meta):
+        for workers in args.workers:
+            if args.backend == "serial" and workers != 1:
+                exp.note(f"skipping workers={workers}: serial backend runs one worker")
+                continue
+            executor = ChunkExecutor(args.backend, workers)
+            if args.kernel == "basic":
+                kernel = BasicKernel(task_size=args.task_size, executor=executor)
+                _, stats = kernel.aggregate(graph, h, args.aggregator)
+            elif args.kernel == "compression":
+                kernel = CompressedKernel(task_size=args.task_size, executor=executor)
+                _, stats = kernel.aggregate(graph, h, args.aggregator)
+            elif args.kernel == "fusion":
+                kernel = FusedKernel(executor=executor)
+                _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
+            else:  # combined
+                kernel = CompressedFusedKernel(executor=executor)
+                _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
+            report = kernel.last_report
+            exp.add(f"{workers} workers wall time", report.wall_time_s, unit="s")
+            exp.add(f"{workers} workers imbalance", report.imbalance, unit="x")
+            chunks = ",".join(str(c) for c in report.chunks_per_worker)
+            exp.note(
+                f"{workers} workers: {stats.tasks} tasks -> [{chunks}] chunks/worker"
+            )
     print(exp.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Trace one tiny synthetic training run and print the telemetry."""
+    from . import obs
+    from .graphs import power_law_graph, synthetic_features
+    from .kernels import BasicKernel, CompressedKernel
+    from .nn import Adam, Trainer, build_model
+    from .parallel import ChunkExecutor
+
+    graph = power_law_graph(
+        args.vertices, args.degree, seed=args.seed, name="synthetic"
+    )
+    features = synthetic_features(
+        graph, args.features, seed=args.seed, sparsity=0.5
+    )
+    labels = np.random.default_rng(args.seed).integers(
+        0, args.classes, graph.num_vertices
+    )
+    model = build_model(
+        "gcn", args.features, args.hidden, args.classes, seed=args.seed
+    )
+    executor = ChunkExecutor(args.backend, args.workers)
+    if args.kernel == "basic":
+        kernel = BasicKernel(executor=executor)
+    else:
+        kernel = CompressedKernel(executor=executor)
+    trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
+
+    tracer, metrics = obs.enable()
+    try:
+        history = trainer.fit(graph, features, labels, epochs=args.epochs)
+    finally:
+        obs.disable()
+
+    records = [
+        span.to_record()
+        for span in sorted(tracer.spans(), key=lambda s: s.span_id)
+    ]
+    print(
+        f"profiled {args.epochs} epoch(s) on {graph.num_vertices} vertices, "
+        f"{args.kernel} kernel, {args.backend} x{args.workers} "
+        f"(final loss {history.final_loss:.4f})"
+    )
+    print("\n== span tree ==")
+    print(obs.render_span_tree(records))
+    print("\n== aggregation counters (all kernel spans) ==")
+    for key, value in sorted(tracer.aggregate_counters("kernel.*").items()):
+        print(f"  {key:<24} {value:g}")
+    print("\n== environment ==")
+    for key, value in obs.environment_info().items():
+        print(f"  {key:<16} {value}")
+    if args.trace:
+        count = tracer.export_jsonl(args.trace)
+        print(f"\nwrote {count} spans to {args.trace}")
+    if args.json:
+        meta = {
+            "command": "profile",
+            "vertices": args.vertices,
+            "kernel": args.kernel,
+            "workers": args.workers,
+            "backend": args.backend,
+            "epochs": args.epochs,
+        }
+        obs.write_json(args.json, obs.build_run_report(tracer, metrics, meta=meta))
+        print(f"wrote run report to {args.json}")
     return 0
 
 
@@ -213,9 +364,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Graphite (ISCA 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="decrease log verbosity (errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -253,6 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="serial"
     )
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -276,7 +442,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="thread"
     )
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
     p.set_defaults(func=_cmd_bench_parallel)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace a tiny synthetic training run; print spans + counters",
+    )
+    p.add_argument("--vertices", type=_positive_int, default=2000)
+    p.add_argument("--degree", type=float, default=8.0)
+    p.add_argument("--features", type=int, default=32)
+    p.add_argument("--hidden", type=int, default=32)
+    p.add_argument("--classes", type=int, default=8)
+    p.add_argument("--epochs", type=_positive_int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kernel", choices=["basic", "compression"], default="basic")
+    p.add_argument("--workers", type=_positive_int, default=2)
+    p.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="thread"
+    )
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
@@ -290,6 +478,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose - args.quiet)
+    logger.info("running %s", args.command)
     return args.func(args)
 
 

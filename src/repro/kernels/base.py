@@ -11,7 +11,7 @@ prices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -48,6 +48,22 @@ class KernelStats:
         self.dram_bytes_saved += other.dram_bytes_saved
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def as_dict(self, include_extra: bool = True) -> Dict[str, float]:
+        """Flat numeric view for telemetry (spans, metrics, reports).
+
+        ``extra`` entries are namespaced as ``extra.<key>`` so they can
+        never shadow a declared counter.
+        """
+        out: Dict[str, float] = {}
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            out[spec.name] = float(getattr(self, spec.name))
+        if include_extra:
+            for key, value in self.extra.items():
+                out[f"extra.{key}"] = float(value)
+        return out
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import get_metrics, get_tracer, publish_counters
 from .base import AggregationKernel, KernelStats, validate_inputs
 from .jit import JitKernelCache, KernelSpec
 from ..parallel.executor import ChunkExecutor, ExecutionReport
@@ -98,8 +99,18 @@ class BasicKernel(AggregationKernel):
         # rebuild it from the pickled workload (prepare()).
         workload.attach_inner(inner)
         plan = build_chunk_plan(graph, self.task_size, order)
-        outputs, stats, report = self.executor.run(workload, plan)
-        self.last_report = report
-        stats.jit_compilations = self.jit_cache.compilations - compiled_before
-        stats.flops = 2.0 * stats.gathers * h.shape[1]
+        with get_tracer().span(
+            "kernel.basic",
+            aggregator=aggregator,
+            vertices=n,
+            features=int(h.shape[1]),
+            backend=self.executor.backend,
+            workers=self.executor.workers,
+        ) as span:
+            outputs, stats, report = self.executor.run(workload, plan)
+            self.last_report = report
+            stats.jit_compilations = self.jit_cache.compilations - compiled_before
+            stats.flops = 2.0 * stats.gathers * h.shape[1]
+            span.add_counters(stats.as_dict())
+        publish_counters(get_metrics(), "kernel.basic", stats.as_dict(False))
         return outputs["out"], stats

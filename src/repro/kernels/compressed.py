@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import get_metrics, get_tracer, publish_counters
 from ..tensors.compression import (
     CompressedMatrix,
     compress_matrix,
@@ -84,12 +85,22 @@ class CompressedKernel(AggregationKernel):
             graph, dense, aggregator, order, count_decompressed=True
         )
         plan = build_chunk_plan(graph, self.task_size, order)
-        outputs, stats, report = self.executor.run(workload, plan)
-        self.last_report = report
-        stats.compressed_rows = n
-        gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
-        stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
-        stats.flops = 2.0 * stats.gathers * h.shape[1]
+        with get_tracer().span(
+            "kernel.compression",
+            aggregator=aggregator,
+            vertices=n,
+            features=int(h.shape[1]),
+            backend=self.executor.backend,
+            workers=self.executor.workers,
+        ) as span:
+            outputs, stats, report = self.executor.run(workload, plan)
+            self.last_report = report
+            stats.compressed_rows = n
+            gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
+            stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
+            stats.flops = 2.0 * stats.gathers * h.shape[1]
+            span.add_counters(stats.as_dict())
+        publish_counters(get_metrics(), "kernel.compression", stats.as_dict(False))
         return outputs["out"], stats
 
 
@@ -141,19 +152,29 @@ class CompressedFusedKernel(FusedLayerKernel):
             count_decompressed=True,
         )
         plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
-        outputs, stats, report = self.executor.run(workload, plan)
-        self.last_report = report
-        a_full = outputs.get("a") if keep_aggregation else None
-        stats.compressed_rows = n
-        stats.peak_buffer_bytes = (
-            a_full.nbytes
-            if a_full is not None
-            else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
-        )
-        gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
-        stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
-        f_out = params.weight.shape[1]
-        stats.flops = (
-            2.0 * stats.gathers * h.shape[1] + 2.0 * n * h.shape[1] * f_out
-        )
+        with get_tracer().span(
+            "kernel.combined",
+            aggregator=aggregator,
+            vertices=n,
+            features=int(h.shape[1]),
+            backend=self.executor.backend,
+            workers=self.executor.workers,
+        ) as span:
+            outputs, stats, report = self.executor.run(workload, plan)
+            self.last_report = report
+            a_full = outputs.get("a") if keep_aggregation else None
+            stats.compressed_rows = n
+            stats.peak_buffer_bytes = (
+                a_full.nbytes
+                if a_full is not None
+                else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
+            )
+            gathers_per_row = np.bincount(graph.indices, minlength=n) + 1
+            stats.dram_bytes_saved = _compression_savings(compressed, gathers_per_row)
+            f_out = params.weight.shape[1]
+            stats.flops = (
+                2.0 * stats.gathers * h.shape[1] + 2.0 * n * h.shape[1] * f_out
+            )
+            span.add_counters(stats.as_dict())
+        publish_counters(get_metrics(), "kernel.combined", stats.as_dict(False))
         return outputs["h_out"], a_full, stats

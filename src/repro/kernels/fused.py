@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import get_metrics, get_tracer, publish_counters
 from .base import FusedLayerKernel, KernelStats, UpdateParams, validate_inputs
 from .basic import DEFAULT_PREFETCH_DISTANCE, PREFETCH_LINES_PER_VECTOR
 from .jit import JitKernelCache, KernelSpec
@@ -95,20 +96,30 @@ class FusedKernel(FusedLayerKernel):
         )
         workload.attach_inner(inner)
         plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
-        outputs, stats, report = self.executor.run(workload, plan)
-        self.last_report = report
-        a_full = outputs.get("a") if keep_aggregation else None
-        stats.jit_compilations = self.jit_cache.compilations - compiled_before
-        # Inference: one reusable B-row buffer per worker (Figure 5c).
-        # Training: the full a matrix must survive for backward (Fig. 5b).
-        stats.peak_buffer_bytes = (
-            a_full.nbytes
-            if a_full is not None
-            else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
-        )
-        f_out = params.weight.shape[1]
-        stats.flops = (
-            2.0 * stats.gathers * h.shape[1]
-            + 2.0 * n * h.shape[1] * f_out
-        )
+        with get_tracer().span(
+            "kernel.fusion",
+            aggregator=aggregator,
+            vertices=n,
+            features=int(h.shape[1]),
+            backend=self.executor.backend,
+            workers=self.executor.workers,
+        ) as span:
+            outputs, stats, report = self.executor.run(workload, plan)
+            self.last_report = report
+            a_full = outputs.get("a") if keep_aggregation else None
+            stats.jit_compilations = self.jit_cache.compilations - compiled_before
+            # Inference: one reusable B-row buffer per worker (Figure 5c).
+            # Training: the full a matrix must survive for backward (Fig. 5b).
+            stats.peak_buffer_bytes = (
+                a_full.nbytes
+                if a_full is not None
+                else self.block_size * h.shape[1] * np.dtype(np.float32).itemsize
+            )
+            f_out = params.weight.shape[1]
+            stats.flops = (
+                2.0 * stats.gathers * h.shape[1]
+                + 2.0 * n * h.shape[1] * f_out
+            )
+            span.add_counters(stats.as_dict())
+        publish_counters(get_metrics(), "kernel.fusion", stats.as_dict(False))
         return outputs["h_out"], a_full, stats

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..kernels.base import AggregationKernel
+from ..kernels.base import AggregationKernel, KernelStats
 from . import functional as F
 from .aggregate import aggregate, aggregate_backward, canonical_aggregator
 
@@ -32,6 +32,7 @@ class LayerCache:
     a: np.ndarray
     pre_activation: np.ndarray
     dropout_mask: Optional[np.ndarray] = None
+    agg_stats: Optional[KernelStats] = None  # set when a kernel ran aggregation
 
 
 @dataclass
@@ -100,14 +101,16 @@ class GNNLayer:
                 f"expected {self.in_features} input features, got {h_in.shape[1]}"
             )
         h_dropped, mask = F.dropout(h_in, self.dropout, self._rng, training=training)
+        agg_stats = None
         if kernel is not None:
-            a, _ = kernel.aggregate(graph, h_dropped, self.aggregator)
+            a, agg_stats = kernel.aggregate(graph, h_dropped, self.aggregator)
         else:
             a = aggregate(graph, h_dropped, self.aggregator)
         pre = a @ self.weight + self.bias
         h_out = F.relu(pre) if self.activation else pre
         cache = LayerCache(
-            h_in=h_dropped, a=a, pre_activation=pre, dropout_mask=mask
+            h_in=h_dropped, a=a, pre_activation=pre, dropout_mask=mask,
+            agg_stats=agg_stats,
         )
         return h_out.astype(np.float32), cache
 

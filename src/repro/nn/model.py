@@ -14,6 +14,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..kernels.base import AggregationKernel
+from ..obs import get_tracer
 from .layers import GNNLayer, LayerCache, LayerGrads
 
 
@@ -50,8 +51,16 @@ class GNNModel:
         """
         h = features
         caches: List[LayerCache] = []
-        for layer in self.layers:
-            h, cache = layer.forward(graph, h, training=training, kernel=kernel)
+        tracer = get_tracer()
+        for idx, layer in enumerate(self.layers):
+            with tracer.span(
+                "layer",
+                index=idx,
+                in_features=layer.in_features,
+                out_features=layer.out_features,
+                aggregator=layer.aggregator,
+            ):
+                h, cache = layer.forward(graph, h, training=training, kernel=kernel)
             caches.append(cache)
         return h, caches
 

@@ -8,17 +8,21 @@ optimizer step.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..kernels.base import AggregationKernel
+from ..kernels.base import AggregationKernel, KernelStats
+from ..obs import get_tracer
 from ..tensors.sparsity import SparsityProfile
 from . import functional as F
 from .model import GNNModel
 from .optim import Optimizer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -37,6 +41,9 @@ class TrainingHistory:
 
     epochs: List[EpochResult] = field(default_factory=list)
     sparsity: SparsityProfile = field(default_factory=SparsityProfile)
+    #: Work counters merged from every forward aggregation that ran on an
+    #: optimized kernel (empty when training uses the SpMM oracle).
+    aggregation_stats: KernelStats = field(default_factory=KernelStats)
 
     @property
     def final_loss(self) -> float:
@@ -86,26 +93,40 @@ class Trainer:
         val_mask: Optional[np.ndarray] = None,
     ) -> EpochResult:
         """One forward + backward + step over the whole graph."""
-        logits, caches = self.model.forward(
-            graph, features, training=True, kernel=self.aggregation_kernel
-        )
-        if self.profile_sparsity:
-            for layer_idx, cache in enumerate(caches):
-                self.history.sparsity.record(layer_idx, cache.h_in)
-        loss, grad = F.cross_entropy(logits, labels, mask=train_mask)
-        grads = self.model.backward(graph, grad, caches)
-        self.optimizer.step(grads)
-        result = EpochResult(
-            epoch=len(self.history.epochs),
-            loss=loss,
-            train_accuracy=F.accuracy(logits, labels, mask=train_mask),
-            val_accuracy=(
-                F.accuracy(logits, labels, mask=val_mask)
-                if val_mask is not None
-                else None
-            ),
-        )
+        tracer = get_tracer()
+        with tracer.span("epoch", epoch=len(self.history.epochs)) as span:
+            logits, caches = self.model.forward(
+                graph, features, training=True, kernel=self.aggregation_kernel
+            )
+            for cache in caches:
+                if cache.agg_stats is not None:
+                    self.history.aggregation_stats.merge(cache.agg_stats)
+            if self.profile_sparsity:
+                for layer_idx, cache in enumerate(caches):
+                    self.history.sparsity.record(layer_idx, cache.h_in)
+            loss, grad = F.cross_entropy(logits, labels, mask=train_mask)
+            with tracer.span("backward"):
+                grads = self.model.backward(graph, grad, caches)
+            self.optimizer.step(grads)
+            result = EpochResult(
+                epoch=len(self.history.epochs),
+                loss=loss,
+                train_accuracy=F.accuracy(logits, labels, mask=train_mask),
+                val_accuracy=(
+                    F.accuracy(logits, labels, mask=val_mask)
+                    if val_mask is not None
+                    else None
+                ),
+            )
+            span.set_attr("loss", float(loss))
+            span.set_attr("train_accuracy", result.train_accuracy)
         self.history.epochs.append(result)
+        logger.debug(
+            "epoch %d: loss %.4f train-acc %.3f",
+            result.epoch,
+            result.loss,
+            result.train_accuracy,
+        )
         return result
 
     def fit(

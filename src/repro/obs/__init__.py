@@ -1,0 +1,130 @@
+"""Unified run telemetry: span tracer, metrics registry, run reports.
+
+Three pieces, one namespace (see the paper's quantitative methodology —
+every Graphite claim is a counter or a time, so every run should emit
+comparable, machine-readable telemetry):
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with a JSONL
+  exporter; a traced training run yields the tree
+  ``epoch -> layer -> kernel.<name> -> worker``;
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms that kernels, the chunk executor, the sim models, and the
+  DMA timeline publish into;
+* :mod:`repro.obs.report` — joins spans + metrics + environment
+  metadata into one run-report JSON document.
+
+Telemetry is **disabled by default and zero-cost when disabled**: the
+module singletons are ``NULL_TRACER`` / ``NULL_REGISTRY`` whose methods
+are no-ops, and instrumentation sits at region granularity (a kernel
+invocation, a worker's chunk batch), never inside per-vertex loops.
+
+Typical use (what ``repro profile`` and ``--trace`` do)::
+
+    from repro import obs
+
+    tracer, metrics = obs.enable()
+    ...  # run the workload
+    tracer.export_jsonl("trace.jsonl")
+    obs.write_json("run.json", obs.build_run_report(tracer, metrics))
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    publish_counters,
+)
+from .report import (
+    REPORT_SCHEMA_VERSION,
+    build_run_report,
+    environment_info,
+    write_json,
+)
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    read_trace,
+    render_span_tree,
+    span_tree,
+)
+
+_tracer = NULL_TRACER
+_metrics = NULL_REGISTRY
+
+
+def get_tracer():
+    """The active tracer (a no-op :class:`NullTracer` unless enabled)."""
+    return _tracer
+
+
+def get_metrics():
+    """The active registry (a no-op :class:`NullRegistry` unless enabled)."""
+    return _metrics
+
+
+def set_tracer(tracer) -> None:
+    global _tracer
+    _tracer = tracer
+
+
+def set_metrics(registry) -> None:
+    global _metrics
+    _metrics = registry
+
+
+def enable(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[Tracer, MetricsRegistry]:
+    """Install (and return) a live tracer + registry as the globals."""
+    tracer = tracer or Tracer()
+    metrics = metrics or MetricsRegistry()
+    set_tracer(tracer)
+    set_metrics(metrics)
+    return tracer, metrics
+
+
+def disable() -> None:
+    """Restore the zero-cost null tracer and registry."""
+    set_tracer(NULL_TRACER)
+    set_metrics(NULL_REGISTRY)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "REPORT_SCHEMA_VERSION",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "build_run_report",
+    "disable",
+    "enable",
+    "environment_info",
+    "get_metrics",
+    "get_tracer",
+    "publish_counters",
+    "read_trace",
+    "render_span_tree",
+    "set_metrics",
+    "set_tracer",
+    "span_tree",
+    "write_json",
+]

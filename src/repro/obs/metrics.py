@@ -1,0 +1,200 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Every instrumented subsystem publishes into one namespace so a run's
+numbers are joinable afterwards:
+
+* ``kernel.<name>.*`` — the :class:`~repro.kernels.base.KernelStats`
+  counters of each kernel invocation (``kernel.basic.gathers``, ...);
+* ``executor.*`` — chunk-executor wall time and per-worker chunk/vertex
+  counts (``executor.worker0.chunks``);
+* ``sim.*`` — cache / DRAM / prefetcher model counters
+  (``sim.l2.misses``, ``sim.dram.bytes_served``);
+* ``dma.*`` — DMA request-timeline outcomes
+  (``dma.timeline.finish_cycles``).
+
+Like the tracer, the registry is **disabled by default**: the module
+singleton is a :class:`NullRegistry` whose operations are no-ops and
+whose ``enabled`` flag lets publishers skip building metric dicts
+entirely.  ``set_metrics(MetricsRegistry())`` turns collection on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Union
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max (no stored samples)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    Names are dot-separated, lowercase, ``<subsystem>.<detail>`` (see
+    the module docstring).  Re-registering a name with a different
+    metric type raises — a namespace collision is a bug, not data.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls: type) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls()
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)  # type: ignore[return-value]
+
+    # Convenience one-shots ------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ---------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Immutable dict view of every metric, sorted by name."""
+        with self._lock:
+            return {
+                name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: publishers check ``enabled`` and skip work."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = Counter()
+        self._null_gauge = Gauge()
+        self._null_histogram = Histogram()
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def publish_counters(
+    registry: MetricsRegistry, prefix: str, counters: Mapping[str, float]
+) -> None:
+    """Add a dict of counter deltas under ``prefix.`` (no-op if disabled)."""
+    if not registry.enabled:
+        return
+    for key, value in counters.items():
+        if value >= 0:
+            registry.inc(f"{prefix}.{key}", value)
+        else:  # negative deltas (shouldn't happen) become gauges, not errors
+            registry.set_gauge(f"{prefix}.{key}", value)

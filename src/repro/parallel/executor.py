@@ -23,6 +23,7 @@ counter, and is the one entry that legitimately varies between runs.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -32,8 +33,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..kernels.base import KernelStats
+from ..obs import get_metrics, get_tracer
 from .plan import Chunk, ChunkPlan, assign_chunks
 from .workload import ChunkWorkload
+
+logger = logging.getLogger(__name__)
 
 #: Execution backends, in increasing isolation order.
 BACKENDS = ("serial", "thread", "process")
@@ -153,7 +157,51 @@ class ChunkExecutor:
             worker_reports=reports,
         )
         self.last_report = execution
+        self._emit_telemetry(plan, execution)
         return outputs, merged, execution
+
+    def _emit_telemetry(self, plan: ChunkPlan, execution: ExecutionReport) -> None:
+        """One span per worker's chunk batch, plus registry counters.
+
+        Worker spans are synthesized in the caller's thread from the
+        measured :class:`WorkerReport` timings, so every backend
+        (including ``process``, whose workers can't share a tracer)
+        produces the same span shape, as children of whatever span the
+        caller (normally a kernel) has open.
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            for report in execution.worker_reports:
+                tracer.record(
+                    "worker",
+                    duration_s=report.elapsed_s,
+                    attrs={
+                        "worker_id": report.worker_id,
+                        "backend": self.backend,
+                        "chunks": report.num_chunks,
+                        "vertices": report.num_vertices,
+                    },
+                    counters=report.stats.as_dict(),
+                )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("executor.runs")
+            metrics.inc("executor.chunks", plan.num_chunks)
+            metrics.observe("executor.wall_time_s", execution.wall_time_s)
+            metrics.observe("executor.imbalance", execution.imbalance)
+            for report in execution.worker_reports:
+                prefix = f"executor.worker{report.worker_id}"
+                metrics.inc(f"{prefix}.chunks", report.num_chunks)
+                metrics.inc(f"{prefix}.vertices", report.num_vertices)
+                metrics.observe(f"{prefix}.elapsed_s", report.elapsed_s)
+        logger.debug(
+            "%s x%d ran %d chunks in %.4fs (imbalance %.2f)",
+            self.backend,
+            self.workers,
+            plan.num_chunks,
+            execution.wall_time_s,
+            execution.imbalance,
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

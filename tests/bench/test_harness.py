@@ -18,6 +18,17 @@ class TestResultRow:
         assert "1.500" in text
         assert "1.600" in text
 
+    def test_to_dict(self):
+        d = ResultRow("speedup", 1.5, paper=1.0, unit="x").to_dict()
+        assert d == {
+            "label": "speedup", "measured": 1.5, "paper": 1.0,
+            "unit": "x", "ratio": 1.5,
+        }
+
+    def test_to_dict_without_paper(self):
+        d = ResultRow("t", 2.0).to_dict()
+        assert d["paper"] is None and d["ratio"] is None
+
 
 class TestExperiment:
     def test_add_and_render(self):
@@ -59,6 +70,25 @@ class TestExperiment:
         exp = Experiment("fig0", "demo")
         exp.add("a", 1.0)
         assert exp.max_paper_deviation() is None
+
+    def test_to_dict(self):
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.1, paper=1.0)
+        exp.add("b", 2.0)
+        exp.note("a note")
+        d = exp.to_dict()
+        assert d["experiment_id"] == "fig0"
+        assert d["title"] == "demo"
+        assert [r["label"] for r in d["rows"]] == ["a", "b"]
+        assert d["notes"] == ["a note"]
+        assert d["max_paper_deviation"] == pytest.approx(0.1)
+
+    def test_to_dict_json_serializable(self):
+        import json
+
+        exp = Experiment("fig0", "demo")
+        exp.add("a", 1.0)
+        json.dumps(exp.to_dict())
 
     def test_render_all(self):
         a = Experiment("a", "one")

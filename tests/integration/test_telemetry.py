@@ -1,0 +1,150 @@
+"""Acceptance test for unified run telemetry.
+
+Trains on a synthetic twin with tracing enabled and asserts the two
+properties the observability layer promises:
+
+1. the exported span tree nests epoch -> layer -> kernel -> worker, and
+2. the counters aggregated from the trace exactly match the
+   ``KernelStats`` the kernels returned to the trainer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.graphs import power_law_graph, synthetic_features
+from repro.kernels import BasicKernel
+from repro.nn import Adam, Trainer, build_model
+from repro.obs import read_trace, span_tree
+from repro.parallel import ChunkExecutor
+
+EPOCHS = 2
+LAYERS = 2
+WORKERS = 2
+
+
+def _tiny_inputs(features=16, classes=4, seed=0):
+    graph = power_law_graph(300, 6.0, seed=seed, name="tiny")
+    h = synthetic_features(graph, features, seed=seed, sparsity=0.5)
+    labels = np.random.default_rng(seed).integers(0, classes, graph.num_vertices)
+    return graph, h, labels
+
+
+@pytest.fixture
+def traced_run():
+    """One traced training run; returns (tracer, metrics, history)."""
+    graph, h, labels = _tiny_inputs()
+    model = build_model("gcn", h.shape[1], 16, 4, seed=0)
+    kernel = BasicKernel(executor=ChunkExecutor("thread", WORKERS))
+    trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
+    tracer, metrics = obs.enable()
+    try:
+        trainer.fit(graph, h, labels, epochs=EPOCHS)
+    finally:
+        obs.disable()
+    return tracer, metrics, trainer.history
+
+
+class TestSpanTreeShape:
+    def test_nests_epoch_layer_kernel_worker(self, traced_run):
+        tracer, _, _ = traced_run
+        records = [s.to_record() for s in tracer.spans()]
+        roots = span_tree(records)
+        epochs = [r for r in roots if r["name"] == "epoch"]
+        assert len(epochs) == EPOCHS
+        for epoch in epochs:
+            layers = [c for c in epoch["children"] if c["name"] == "layer"]
+            assert len(layers) == LAYERS
+            for layer in layers:
+                kernels = [
+                    c for c in layer["children"]
+                    if c["name"].startswith("kernel.")
+                ]
+                assert len(kernels) == 1
+                workers = [
+                    c for c in kernels[0]["children"] if c["name"] == "worker"
+                ]
+                assert len(workers) == WORKERS
+
+    def test_backward_is_epoch_child(self, traced_run):
+        tracer, _, _ = traced_run
+        records = [s.to_record() for s in tracer.spans()]
+        for root in span_tree(records):
+            names = [c["name"] for c in root["children"]]
+            assert names.count("backward") == 1
+
+
+class TestCounterConsistency:
+    def test_trace_matches_returned_kernel_stats(self, traced_run):
+        """The acceptance criterion: trace totals == KernelStats totals."""
+        tracer, _, history = traced_run
+        assert (
+            tracer.aggregate_counters("kernel.*")
+            == history.aggregation_stats.as_dict()
+        )
+
+    def test_worker_counters_sum_to_kernel_counters(self, traced_run):
+        tracer, _, _ = traced_run
+        kernel_spans = tracer.spans("kernel.*")
+        by_id = {s.span_id: s for s in kernel_spans}
+        worker_totals = {span_id: 0.0 for span_id in by_id}
+        for worker in tracer.spans("worker"):
+            if worker.parent_id in worker_totals:
+                worker_totals[worker.parent_id] += worker.counters["gathers"]
+        for span_id, total in worker_totals.items():
+            assert total == by_id[span_id].counters["gathers"]
+
+    def test_metrics_registry_agrees_with_trace(self, traced_run):
+        tracer, metrics, _ = traced_run
+        snap = metrics.snapshot()
+        totals = tracer.aggregate_counters("kernel.basic")
+        assert snap["kernel.basic.gathers"]["value"] == totals["gathers"]
+        assert snap["executor.runs"]["value"] == float(EPOCHS * LAYERS)
+
+
+class TestCliArtifacts:
+    def test_train_trace_and_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.jsonl"
+        json_path = tmp_path / "run.json"
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "16", "--hidden", "16",
+            "--workers", "2", "--backend", "thread",
+            "--trace", str(trace_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "spans" in out
+
+        header, records = read_trace(str(trace_path))
+        assert header["schema"] == 1
+        roots = span_tree(records)
+        epoch = next(r for r in roots if r["name"] == "epoch")
+        layer = next(c for c in epoch["children"] if c["name"] == "layer")
+        kernel = next(
+            c for c in layer["children"] if c["name"].startswith("kernel.")
+        )
+        assert any(c["name"] == "worker" for c in kernel["children"])
+
+        report = json.loads(json_path.read_text())
+        assert report["meta"]["command"] == "train"
+        assert report["environment"]["repro_version"]
+        assert len(report["spans"]) == len(records)
+        # The report's counter totals join trace + metrics consistently.
+        kernel_records = [
+            r for r in records if r["name"].startswith("kernel.")
+        ]
+        gathers = sum(r["counters"]["gathers"] for r in kernel_records)
+        assert report["metrics"]["kernel.basic.gathers"]["value"] == gathers
+
+    def test_disabled_by_default(self):
+        graph, h, labels = _tiny_inputs()
+        model = build_model("gcn", h.shape[1], 16, 4, seed=0)
+        kernel = BasicKernel(executor=ChunkExecutor("thread", 2))
+        trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
+        trainer.fit(graph, h, labels, epochs=1)
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().snapshot() == {}

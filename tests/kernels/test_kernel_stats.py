@@ -1,0 +1,65 @@
+"""Unit tests for KernelStats merge semantics and the telemetry view."""
+
+from repro.kernels import KernelStats
+
+
+class TestMerge:
+    def test_additive_fields_sum(self):
+        a = KernelStats(gathers=3, flops=10.0, prefetches=2, tasks=1, blocks=4)
+        b = KernelStats(gathers=7, flops=5.0, prefetches=1, tasks=2, blocks=6)
+        a.merge(b)
+        assert a.gathers == 10
+        assert a.flops == 15.0
+        assert a.prefetches == 3
+        assert a.tasks == 3
+        assert a.blocks == 10
+
+    def test_extra_dict_summation(self):
+        a = KernelStats(extra={"wall_time_s": 1.0, "only_a": 2.0})
+        b = KernelStats(extra={"wall_time_s": 0.5, "only_b": 3.0})
+        a.merge(b)
+        assert a.extra == {"wall_time_s": 1.5, "only_a": 2.0, "only_b": 3.0}
+        # merge must not mutate the right-hand side
+        assert b.extra == {"wall_time_s": 0.5, "only_b": 3.0}
+
+    def test_peak_buffer_bytes_takes_max(self):
+        a = KernelStats(peak_buffer_bytes=100)
+        a.merge(KernelStats(peak_buffer_bytes=50))
+        assert a.peak_buffer_bytes == 100
+        a.merge(KernelStats(peak_buffer_bytes=400))
+        assert a.peak_buffer_bytes == 400
+
+    def test_empty_merge_identity(self):
+        stats = KernelStats(
+            gathers=5, flops=2.0, prefetches=1, tasks=2, blocks=3,
+            jit_compilations=1, decompressed_rows=4, compressed_rows=5,
+            peak_buffer_bytes=64, dram_bytes_saved=7.0, extra={"k": 1.0},
+        )
+        before = stats.as_dict()
+        stats.merge(KernelStats())
+        assert stats.as_dict() == before
+
+    def test_merge_into_empty_copies(self):
+        src = KernelStats(gathers=5, peak_buffer_bytes=9, extra={"k": 2.0})
+        dst = KernelStats()
+        dst.merge(src)
+        assert dst.as_dict() == src.as_dict()
+
+
+class TestAsDict:
+    def test_all_declared_counters_present(self):
+        d = KernelStats().as_dict()
+        assert set(d) == {
+            "gathers", "flops", "prefetches", "tasks", "blocks",
+            "jit_compilations", "decompressed_rows", "compressed_rows",
+            "peak_buffer_bytes", "dram_bytes_saved",
+        }
+        assert all(isinstance(v, float) for v in d.values())
+
+    def test_extra_namespaced(self):
+        d = KernelStats(extra={"wall_time_s": 0.5}).as_dict()
+        assert d["extra.wall_time_s"] == 0.5
+
+    def test_extra_excluded_on_request(self):
+        d = KernelStats(extra={"wall_time_s": 0.5}).as_dict(include_extra=False)
+        assert "extra.wall_time_s" not in d

@@ -1,0 +1,107 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    publish_counters,
+)
+
+
+class TestMetricTypes:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for value in (1.0, 3.0, 2.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_dict_is_finite(self):
+        d = Histogram().to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0 and d["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_convenience_oneshots(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 7)
+        reg.observe("h", 1.5)
+        snap = reg.snapshot()
+        assert snap["c"]["value"] == 2.0
+        assert snap["g"]["value"] == 7.0
+        assert snap["h"]["count"] == 1
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        assert list(reg.snapshot()) == ["a", "z"]
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestNullRegistry:
+    def test_disabled(self):
+        assert NullRegistry.enabled is False
+        assert MetricsRegistry.enabled is True
+
+    def test_operations_noop(self):
+        NULL_REGISTRY.inc("x", 5)
+        NULL_REGISTRY.set_gauge("y", 1)
+        NULL_REGISTRY.observe("z", 2)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_accessors_return_shared_nulls(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+
+class TestPublishCounters:
+    def test_prefixing(self):
+        reg = MetricsRegistry()
+        publish_counters(reg, "kernel.basic", {"gathers": 3, "flops": 6.0})
+        snap = reg.snapshot()
+        assert snap["kernel.basic.gathers"]["value"] == 3.0
+        assert snap["kernel.basic.flops"]["value"] == 6.0
+
+    def test_disabled_registry_skipped(self):
+        publish_counters(NULL_REGISTRY, "kernel", {"gathers": 3})
+        assert NULL_REGISTRY.snapshot() == {}

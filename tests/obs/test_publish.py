@@ -1,0 +1,74 @@
+"""Publishers: sim cache/DRAM, prefetcher, and DMA timeline -> registry."""
+
+import pytest
+
+from repro import obs
+from repro.dma.timeline import figure10_example
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.prefetcher import StreamPrefetcher
+
+
+@pytest.fixture
+def telemetry():
+    """Enabled tracer+registry, restored to the nulls afterwards."""
+    tracer, metrics = obs.enable()
+    yield tracer, metrics
+    obs.disable()
+
+
+class TestHierarchyPublish:
+    def test_publishes_cache_and_dram_counters(self, telemetry):
+        _, metrics = telemetry
+        hierarchy = MemoryHierarchy(cache_scale=0.01)
+        for addr in range(0, 64 * 100, 64):
+            hierarchy.access(0, addr)
+        hierarchy.publish_metrics()
+        snap = metrics.snapshot()
+        assert snap["sim.l1.accesses"]["value"] == 100.0
+        assert snap["sim.l1.misses"]["value"] > 0
+        assert "sim.l2.accesses" in snap
+        assert "sim.l3.accesses" in snap
+        assert snap["sim.dram.lines_served"]["value"] > 0
+        assert snap["sim.dram.bytes_served"]["value"] > 0
+
+    def test_noop_when_disabled(self):
+        hierarchy = MemoryHierarchy(cache_scale=0.01)
+        hierarchy.access(0, 0)
+        hierarchy.publish_metrics()  # must not raise, must not record
+        assert obs.get_metrics().snapshot() == {}
+
+
+class TestPrefetcherPublish:
+    def test_publishes_effectiveness(self, telemetry):
+        _, metrics = telemetry
+        prefetcher = StreamPrefetcher()
+        prefetcher.run_trace(list(range(0, 64 * 50, 64)))  # pure stream
+        prefetcher.publish_metrics()
+        snap = metrics.snapshot()
+        assert snap["sim.prefetcher.accesses"]["value"] == 50.0
+        assert snap["sim.prefetcher.useful_prefetches"]["value"] > 0
+        assert 0.0 < snap["sim.prefetcher.coverage"]["value"] <= 1.0
+
+
+class TestDmaTimelinePublish:
+    def test_run_emits_span_and_metrics(self, telemetry):
+        tracer, metrics = telemetry
+        timeline, jobs = figure10_example()
+        result = timeline.run(jobs)
+        spans = tracer.spans("dma.timeline")
+        assert len(spans) == 1
+        assert spans[0].counters["finish_cycles"] == result.finish_time
+        assert spans[0].counters["events"] == len(result.events)
+        snap = metrics.snapshot()
+        assert snap["dma.timeline.runs"]["value"] == 1.0
+        assert snap["dma.timeline.descriptors"]["value"] == 1.0
+        assert (
+            snap["dma.timeline.max_table_occupancy"]["value"]
+            == result.max_table_occupancy
+        )
+
+    def test_result_unchanged_when_disabled(self):
+        timeline, jobs = figure10_example()
+        result = timeline.run(jobs)
+        assert result.finish_time > 0
+        assert obs.get_tracer().enabled is False

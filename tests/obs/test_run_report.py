@@ -1,0 +1,76 @@
+"""Unit tests for run-report building and the telemetry singletons."""
+
+import json
+
+import repro
+from repro import obs
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    environment_info,
+    write_json,
+)
+
+
+class TestEnvironmentInfo:
+    def test_required_keys(self):
+        env = environment_info()
+        for key in (
+            "repro_version", "git_sha", "python", "numpy",
+            "platform", "cpu_count",
+        ):
+            assert key in env
+        assert env["repro_version"] == repro.__version__
+
+    def test_json_serializable(self):
+        json.dumps(environment_info())
+
+
+class TestBuildRunReport:
+    def test_joins_spans_metrics_meta(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        with tracer.span("epoch"):
+            with tracer.span("layer") as span:
+                span.add_counters({"gathers": 4})
+        metrics.inc("kernel.basic.gathers", 4)
+        report = build_run_report(
+            tracer, metrics, meta={"command": "test", "workers": 2}
+        )
+        assert report["schema"] == 1
+        assert report["meta"]["workers"] == 2
+        assert len(report["spans"]) == 2
+        assert report["span_tree"][0]["name"] == "epoch"
+        assert report["span_tree"][0]["children"][0]["name"] == "layer"
+        assert report["metrics"]["kernel.basic.gathers"]["value"] == 4.0
+        assert report["counter_totals"] == {"gathers": 4.0}
+
+    def test_empty_report(self):
+        report = build_run_report()
+        assert report["spans"] == []
+        assert report["metrics"] == {}
+        json.dumps(report)
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "run.json"
+        write_json(str(path), build_run_report(meta={"x": 1}))
+        loaded = json.loads(path.read_text())
+        assert loaded["meta"] == {"x": 1}
+
+
+class TestGlobalSingletons:
+    def test_disabled_by_default(self):
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False
+
+    def test_enable_disable_round_trip(self):
+        tracer, metrics = obs.enable()
+        try:
+            assert obs.get_tracer() is tracer
+            assert obs.get_metrics() is metrics
+            assert tracer.enabled and metrics.enabled
+        finally:
+            obs.disable()
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False

@@ -22,6 +22,29 @@ class TestCharacterizationTable:
         assert "c-locality" in text
         assert "FillBufFull" in text
 
+    def test_render_column_layout(self, table):
+        lines = table.render().splitlines()
+        header, rule = lines[0], lines[1]
+        # One header, one rule, then one row per (graph, variant).
+        assert len(lines) == 2 + len(TABLE4_VARIANTS)
+        assert rule == "-" * len(header)
+        # Column titles appear left-to-right in the paper's order.
+        titles = ["Graph", "Implementation", "Retiring", "MemBound",
+                  "L2", "L3", "DRAM-BW", "DRAM-Lat", "FillBufFull"]
+        positions = [header.index(t) for t in titles]
+        assert positions == sorted(positions)
+        # Data rows line up with the header: same width, right-aligned
+        # percentage cells in every metric column.
+        for row in lines[2:]:
+            assert len(row) == len(header)
+            assert row.startswith("products")
+            cells = row[26:]  # past the Graph/Implementation columns
+            assert len(cells) == 12 * 7
+            for i in range(7):
+                cell = cells[i * 12:(i + 1) * 12]
+                assert cell.endswith("%")
+                assert cell[0] == " "  # fixed one-space column gutter
+
     def test_report_accessor(self, table):
         report = table.report("products", "distgnn")
         assert 0.0 <= report.retiring <= 1.0

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import logging
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro import __version__
+from repro.cli import _configure_logging, build_parser, main
 
 
 class TestParser:
@@ -17,6 +20,37 @@ class TestParser:
     def test_speedup_validates_dataset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["speedup", "reddit"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_verbosity_counts(self):
+        args = build_parser().parse_args(["-vv", "datasets"])
+        assert args.verbose == 2 and args.quiet == 0
+        args = build_parser().parse_args(["-q", "datasets"])
+        assert args.quiet == 1
+
+    def test_trace_flags_default_off(self):
+        args = build_parser().parse_args(["train", "products"])
+        assert args.trace is None and args.json is None
+
+
+class TestLoggingConfig:
+    @pytest.mark.parametrize("verbosity,level", [
+        (2, logging.DEBUG), (1, logging.INFO),
+        (0, logging.WARNING), (-1, logging.ERROR),
+    ])
+    def test_levels(self, verbosity, level):
+        _configure_logging(verbosity)
+        assert logging.getLogger("repro").level == level
+
+    def test_handler_installed_once(self):
+        _configure_logging(0)
+        _configure_logging(0)
+        assert len(logging.getLogger("repro").handlers) == 1
 
 
 class TestCommands:
@@ -54,3 +88,36 @@ class TestCommands:
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "fig99"]) == 2
+
+    def test_profile(self, capsys):
+        code = main([
+            "profile", "--vertices", "300", "--epochs", "1",
+            "--features", "8", "--hidden", "8", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "epoch" in out and "worker" in out
+        assert "gathers" in out
+        assert "repro_version" in out
+
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        report = tmp_path / "r.json"
+        code = main([
+            "profile", "--vertices", "200", "--epochs", "1",
+            "--features", "8", "--hidden", "8",
+            "--trace", str(trace), "--json", str(report),
+        ])
+        assert code == 0
+        assert trace.exists() and report.exists()
+
+    def test_bench_parallel_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bench.jsonl"
+        code = main([
+            "bench-parallel", "products", "--scale", "0.05",
+            "--workers", "1", "2", "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists()
+        assert "wrote" in capsys.readouterr().out
