@@ -56,16 +56,18 @@ def _configure_logging(verbosity: int) -> None:
 
 @contextlib.contextmanager
 def _telemetry(args: argparse.Namespace, meta: dict):
-    """Enable run telemetry when ``--trace``/``--json`` was given.
+    """Enable run telemetry when ``--trace``/``--json``/``--perfetto`` was given.
 
     Yields the live tracer (or None when telemetry stays off) and, on
-    exit, writes the JSONL trace and/or the run-report JSON.
+    exit, writes the JSONL trace, the run-report JSON, and/or the
+    Perfetto (Chrome trace-event) file.
     """
     from . import obs
 
     trace_path = getattr(args, "trace", None)
     json_path = getattr(args, "json", None)
-    if not trace_path and not json_path:
+    perfetto_path = getattr(args, "perfetto", None)
+    if not trace_path and not json_path and not perfetto_path:
         yield None
         return
     tracer, metrics = obs.enable()
@@ -81,6 +83,9 @@ def _telemetry(args: argparse.Namespace, meta: dict):
                 json_path, obs.build_run_report(tracer, metrics, meta=meta)
             )
             print(f"wrote run report to {json_path}")
+        if perfetto_path:
+            count = obs.export_perfetto(perfetto_path, tracer, metrics, meta=meta)
+            print(f"wrote {count} span events to {perfetto_path} (Perfetto)")
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -304,21 +309,80 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("\n== environment ==")
     for key, value in obs.environment_info().items():
         print(f"  {key:<16} {value}")
+
+    from .perf import CostModel
+
+    attribution = obs.attribute_run(
+        records,
+        cost_model=CostModel(graph),
+        sparsity=0.5,
+        metrics_snapshot=metrics.snapshot(),
+    )
+    print("\n== bottleneck attribution ==")
+    print(attribution.render())
+
+    meta = {
+        "command": "profile",
+        "vertices": args.vertices,
+        "kernel": args.kernel,
+        "workers": args.workers,
+        "backend": args.backend,
+        "epochs": args.epochs,
+    }
     if args.trace:
         count = tracer.export_jsonl(args.trace)
         print(f"\nwrote {count} spans to {args.trace}")
     if args.json:
-        meta = {
-            "command": "profile",
-            "vertices": args.vertices,
-            "kernel": args.kernel,
-            "workers": args.workers,
-            "backend": args.backend,
-            "epochs": args.epochs,
-        }
         obs.write_json(args.json, obs.build_run_report(tracer, metrics, meta=meta))
         print(f"wrote run report to {args.json}")
+    if args.perfetto:
+        count = obs.export_perfetto(args.perfetto, tracer, metrics, meta=meta)
+        print(f"wrote {count} span events to {args.perfetto} (Perfetto)")
+    if args.attrib:
+        attribution.write_json(args.attrib)
+        print(f"wrote attribution report to {args.attrib}")
     return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Gate a run against the perf history: exit 1 on regression."""
+    import json as json_module
+
+    from .obs import history as hist
+
+    entries = hist.load_history(args.history, label=args.label)
+    if args.current:
+        with open(args.current) as handle:
+            doc = json_module.load(handle)
+        if "experiments" in doc:
+            current = hist.entry_from_bench_results(doc, label=args.label or "bench")
+        elif "spans" in doc:
+            current = hist.entry_from_run_report(doc, label=args.label or "run")
+        else:
+            print(f"{args.current}: neither a BENCH results nor a run-report JSON")
+            return 2
+        baseline = entries
+    else:
+        if len(entries) < 2:
+            print(
+                f"{args.history}: need >= 2 entries"
+                + (f" with label {args.label!r}" if args.label else "")
+                + " to compare (gate passes trivially)"
+            )
+            return 0
+        current = entries[-1]
+        baseline = entries[:-1]
+    if not baseline:
+        print("no baseline entries yet — gate passes trivially")
+        return 0
+    report = hist.compare_entries(
+        baseline,
+        current,
+        threshold=args.threshold,
+        baseline_runs=args.baseline_runs,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 _EXPERIMENTS = {
@@ -419,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write a Perfetto/chrome://tracing trace JSON",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -444,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write a Perfetto/chrome://tracing trace JSON",
+    )
     p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser(
@@ -464,7 +536,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write a Perfetto/chrome://tracing trace JSON",
+    )
+    p.add_argument(
+        "--attrib", metavar="FILE",
+        help="write the bottleneck-attribution report JSON",
+    )
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "compare",
+        help="gate a run against BENCH_history.jsonl (exit 1 on regression)",
+    )
+    p.add_argument(
+        "--history", metavar="FILE", default="BENCH_history.jsonl",
+        help="JSONL perf history (default: %(default)s)",
+    )
+    p.add_argument(
+        "--label", default=None,
+        help="only compare entries with this label",
+    )
+    p.add_argument(
+        "--current", metavar="FILE", default=None,
+        help="judge this BENCH_results.json / run-report JSON against the "
+        "whole history (default: last history entry vs the rest)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative regression tolerance (default: %(default)s)",
+    )
+    p.add_argument(
+        "--baseline-runs", type=_positive_int, default=5,
+        help="median window size (default: %(default)s)",
+    )
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")

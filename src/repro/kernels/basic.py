@@ -103,6 +103,7 @@ class BasicKernel(AggregationKernel):
             "kernel.basic",
             aggregator=aggregator,
             vertices=n,
+            edges=graph.num_edges,
             features=int(h.shape[1]),
             backend=self.executor.backend,
             workers=self.executor.workers,

@@ -89,6 +89,7 @@ class CompressedKernel(AggregationKernel):
             "kernel.compression",
             aggregator=aggregator,
             vertices=n,
+            edges=graph.num_edges,
             features=int(h.shape[1]),
             backend=self.executor.backend,
             workers=self.executor.workers,
@@ -156,7 +157,10 @@ class CompressedFusedKernel(FusedLayerKernel):
             "kernel.combined",
             aggregator=aggregator,
             vertices=n,
+            edges=graph.num_edges,
             features=int(h.shape[1]),
+            features_out=int(params.weight.shape[1]),
+            keep_aggregation=keep_aggregation,
             backend=self.executor.backend,
             workers=self.executor.workers,
         ) as span:

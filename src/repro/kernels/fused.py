@@ -100,7 +100,10 @@ class FusedKernel(FusedLayerKernel):
             "kernel.fusion",
             aggregator=aggregator,
             vertices=n,
+            edges=graph.num_edges,
             features=int(h.shape[1]),
+            features_out=int(params.weight.shape[1]),
+            keep_aggregation=keep_aggregation,
             backend=self.executor.backend,
             workers=self.executor.workers,
         ) as span:

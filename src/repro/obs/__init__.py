@@ -33,6 +33,34 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from .attrib import (
+    AttributionReport,
+    DEFAULT_TRAFFIC_TOLERANCE,
+    SpanAttribution,
+    TrafficReconciliation,
+    attribute_run,
+    sim_traffic_from_metrics,
+)
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    export_perfetto,
+    write_chrome_trace,
+)
+from .history import (
+    ComparisonReport,
+    DEFAULT_BASELINE_RUNS,
+    DEFAULT_THRESHOLD,
+    HISTORY_SCHEMA_VERSION,
+    HistoryEntry,
+    MetricComparison,
+    append_history,
+    baseline_medians,
+    compare_entries,
+    entry_from_bench_results,
+    entry_from_run_report,
+    load_history,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -102,6 +130,28 @@ def disable() -> None:
 
 
 __all__ = [
+    "AttributionReport",
+    "DEFAULT_TRAFFIC_TOLERANCE",
+    "SpanAttribution",
+    "TrafficReconciliation",
+    "attribute_run",
+    "sim_traffic_from_metrics",
+    "chrome_trace",
+    "chrome_trace_events",
+    "export_perfetto",
+    "write_chrome_trace",
+    "ComparisonReport",
+    "DEFAULT_BASELINE_RUNS",
+    "DEFAULT_THRESHOLD",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryEntry",
+    "MetricComparison",
+    "append_history",
+    "baseline_medians",
+    "compare_entries",
+    "entry_from_bench_results",
+    "entry_from_run_report",
+    "load_history",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,296 @@
+"""Perf-regression history: append run metrics, compare against baseline.
+
+The bench harness and the run reports already make every run's numbers
+machine-readable; this module gives them a *memory*.  Each run appends
+one compact :class:`HistoryEntry` line to a JSONL history file
+(``BENCH_history.jsonl`` at the repo root), and :func:`compare_entries`
+judges a new run against the **median of the last k** baseline runs —
+median, because a single noisy CI run must neither set nor trip the
+gate.  ``repro compare`` wraps this as a CLI exit code so CI can fail on
+a real regression and stay green on noise.
+
+Metrics are plain ``{name: float}``.  Direction matters: most tracked
+quantities (wall times, paper deviations) regress *upward*, so
+lower-is-better is the default; metric names listed in
+``higher_is_better`` flip the test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+#: Version of the history-entry record layout.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Relative slowdown tolerated before a metric counts as regressed.
+#: 15% passes the jitter of repeated identical runs while catching the
+#: >=20% slowdowns the gate exists for.
+DEFAULT_THRESHOLD = 0.15
+
+#: Baseline window: the median of this many most-recent runs.
+DEFAULT_BASELINE_RUNS = 5
+
+#: Baselines below this are too small for a meaningful ratio; the metric
+#: is reported as skipped instead of gated.
+BASELINE_FLOOR = 1e-12
+
+
+@dataclass
+class HistoryEntry:
+    """One run's gateable numbers."""
+
+    label: str
+    timestamp: float
+    metrics: Dict[str, float]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "schema": HISTORY_SCHEMA_VERSION,
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "HistoryEntry":
+        return cls(
+            label=str(record.get("label", "")),
+            timestamp=float(record.get("timestamp", 0.0)),
+            metrics={
+                k: float(v)
+                for k, v in (record.get("metrics") or {}).items()
+                if v is not None
+            },
+            meta=dict(record.get("meta") or {}),
+        )
+
+
+def entry_from_bench_results(
+    doc: Mapping[str, Any],
+    label: str = "bench",
+    timestamp: Optional[float] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> HistoryEntry:
+    """Compact history row from a ``BENCH_results.json`` document.
+
+    Tracks the wall time of the whole bench run plus the paper deviation
+    of every experiment (and the overall max) — the deviations are
+    deterministic model outputs, so any movement is a code change, not
+    noise.
+    """
+    metrics: Dict[str, float] = {"elapsed_s": float(doc.get("elapsed_s", 0.0))}
+    summary = doc.get("summary") or {}
+    overall = summary.get("max_paper_deviation")
+    if overall is not None:
+        metrics["max_paper_deviation"] = float(overall)
+    for experiment in doc.get("experiments", []):
+        deviation = experiment.get("max_paper_deviation")
+        key = experiment.get("key") or experiment.get("experiment_id")
+        if deviation is not None and key:
+            metrics[f"deviation.{key}"] = float(deviation)
+    entry_meta = {
+        "scale": doc.get("scale"),
+        "experiments": summary.get("experiments"),
+        "rows": summary.get("rows"),
+        "git_sha": (doc.get("environment") or {}).get("git_sha"),
+    }
+    entry_meta.update(meta or {})
+    return HistoryEntry(
+        label=label,
+        timestamp=float(
+            timestamp if timestamp is not None else doc.get("generated_unix", 0.0)
+        )
+        or time.time(),
+        metrics=metrics,
+        meta=entry_meta,
+    )
+
+
+def entry_from_run_report(
+    report: Mapping[str, Any],
+    label: str = "run",
+    timestamp: Optional[float] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> HistoryEntry:
+    """Compact history row from a run-report JSON document.
+
+    Tracks total wall time per span name (``span.kernel.basic.total_s``)
+    — the quantities ``repro compare`` can gate for traced runs.
+    """
+    metrics: Dict[str, float] = {}
+    for record in report.get("spans", []):
+        name = record.get("name")
+        if not name:
+            continue
+        key = f"span.{name}.total_s"
+        metrics[key] = metrics.get(key, 0.0) + float(record.get("duration_s", 0.0))
+    entry_meta = dict(report.get("meta") or {})
+    entry_meta.update(meta or {})
+    return HistoryEntry(
+        label=label,
+        timestamp=float(
+            timestamp
+            if timestamp is not None
+            else report.get("trace_epoch_unix", 0.0)
+        )
+        or time.time(),
+        metrics=metrics,
+        meta=entry_meta,
+    )
+
+
+def append_history(path: str, entry: HistoryEntry) -> None:
+    """Append one entry line to the JSONL history file (creating it)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry.to_record()) + "\n")
+
+
+def load_history(path: str, label: Optional[str] = None) -> List[HistoryEntry]:
+    """All entries of a history file (oldest first), optionally by label."""
+    if not os.path.exists(path):
+        return []
+    entries: List[HistoryEntry] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = HistoryEntry.from_record(json.loads(line))
+            if label is None or entry.label == label:
+                entries.append(entry)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Comparison
+
+
+@dataclass
+class MetricComparison:
+    """Verdict for one metric of the candidate run."""
+
+    name: str
+    baseline: Optional[float]  # median of the baseline window, if any
+    current: float
+    ratio: Optional[float]
+    regressed: bool
+    status: str  # "ok" | "regressed" | "new" | "skipped"
+
+    def format(self, width: int = 36) -> str:
+        if self.baseline is None:
+            return f"{self.name:<{width}} {self.current:12.6g}  ({self.status})"
+        return (
+            f"{self.name:<{width}} {self.current:12.6g}  "
+            f"baseline {self.baseline:12.6g}  "
+            f"ratio {self.ratio:5.2f}  {self.status}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All metric verdicts of one candidate-vs-baseline comparison."""
+
+    label: str
+    baseline_runs: int
+    threshold: float
+    comparisons: List[MetricComparison]
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        width = max((len(c.name) for c in self.comparisons), default=20) + 2
+        lines = [
+            f"== perf comparison [{self.label}] vs median of "
+            f"{self.baseline_runs} baseline run(s), threshold "
+            f"{self.threshold:.0%} =="
+        ]
+        lines += [c.format(width) for c in self.comparisons]
+        verdict = (
+            "OK — no regressions"
+            if self.ok
+            else f"REGRESSED — {len(self.regressions)} metric(s) over threshold"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def baseline_medians(
+    entries: Iterable[HistoryEntry],
+    baseline_runs: int = DEFAULT_BASELINE_RUNS,
+) -> Dict[str, float]:
+    """Per-metric median over the last ``baseline_runs`` entries."""
+    window = list(entries)[-baseline_runs:]
+    values: Dict[str, List[float]] = {}
+    for entry in window:
+        for name, value in entry.metrics.items():
+            values.setdefault(name, []).append(value)
+    return {name: statistics.median(vals) for name, vals in values.items()}
+
+
+def compare_entries(
+    baseline: Iterable[HistoryEntry],
+    current: HistoryEntry,
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline_runs: int = DEFAULT_BASELINE_RUNS,
+    higher_is_better: Iterable[str] = (),
+) -> ComparisonReport:
+    """Judge ``current`` against the median of the baseline window.
+
+    A lower-is-better metric regresses when ``current > median * (1 +
+    threshold)``; a higher-is-better one when ``current < median * (1 -
+    threshold)``.  Metrics new to this run, or whose baseline is ~zero,
+    are reported but never gate.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    baseline = list(baseline)
+    medians = baseline_medians(baseline, baseline_runs)
+    flipped = set(higher_is_better)
+    comparisons: List[MetricComparison] = []
+    for name in sorted(current.metrics):
+        value = current.metrics[name]
+        median = medians.get(name)
+        if median is None:
+            comparisons.append(
+                MetricComparison(name, None, value, None, False, "new")
+            )
+            continue
+        if abs(median) < BASELINE_FLOOR:
+            comparisons.append(
+                MetricComparison(name, median, value, None, False, "skipped")
+            )
+            continue
+        ratio = value / median
+        if name in flipped:
+            regressed = ratio < 1.0 - threshold
+        else:
+            regressed = ratio > 1.0 + threshold
+        comparisons.append(
+            MetricComparison(
+                name,
+                median,
+                value,
+                ratio,
+                regressed,
+                "regressed" if regressed else "ok",
+            )
+        )
+    return ComparisonReport(
+        label=current.label,
+        baseline_runs=min(len(baseline), baseline_runs),
+        threshold=threshold,
+        comparisons=comparisons,
+    )

@@ -20,8 +20,16 @@ entirely.  ``set_metrics(MetricsRegistry())`` turns collection on.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
+
+#: Raw observations a histogram keeps for exact percentiles; beyond this
+#: the estimate falls back to the log-scaled bucket counts.
+HISTOGRAM_SAMPLE_CAP = 512
+
+#: Exported percentile summaries (see :meth:`Histogram.to_dict`).
+HISTOGRAM_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 class Counter:
@@ -57,15 +65,30 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / total / min / max (no stored samples)."""
+    """Streaming summary with percentile estimation.
 
-    __slots__ = ("count", "total", "min", "max")
+    Keeps count / total / min / max plus the raw observations up to
+    :data:`HISTOGRAM_SAMPLE_CAP`; past the cap, log2-scaled bucket counts
+    take over and :meth:`percentile` interpolates inside the bucket.  The
+    exported document therefore always carries p50/p95/p99 — exact for
+    the typical few-hundred-observation run, bounded-error afterwards.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: List[float] = []
+        self._buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def _bucket_of(value: float) -> int:
+        if value <= 0.0:
+            return -1074  # below any positive float's exponent
+        return math.frexp(value)[1]  # exponent e with value in [2^(e-1), 2^e)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -73,13 +96,46 @@ class Histogram:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(value)
+        bucket = self._bucket_of(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        if len(self._samples) == self.count:
+            # Exact: linear interpolation over the sorted raw samples.
+            ordered = sorted(self._samples)
+            rank = (q / 100.0) * (len(ordered) - 1)
+            lo = int(math.floor(rank))
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = rank - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        # Estimate: walk the log buckets to the one holding the rank,
+        # interpolate linearly within its [2^(e-1), 2^e) range.
+        target = (q / 100.0) * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            in_bucket = self._buckets[bucket]
+            if seen + in_bucket >= target:
+                low = 0.0 if bucket <= -1074 else math.ldexp(1.0, bucket - 1)
+                high = math.ldexp(1.0, bucket)
+                frac = (target - seen) / in_bucket
+                value = low + (high - low) * frac
+                return min(max(value, self.min), self.max)
+            seen += in_bucket
+        return self.max
+
     def to_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "total": self.total,
@@ -87,6 +143,9 @@ class Histogram:
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
         }
+        for q in HISTOGRAM_PERCENTILES:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
 
 
 Metric = Union[Counter, Gauge, Histogram]

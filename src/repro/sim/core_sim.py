@@ -110,6 +110,7 @@ class SimReport:
     l2_miss_rate: float
     memory_stall_fraction: float
     update_cycles: float = 0.0
+    dram_bytes: float = 0.0
     detail: Dict[str, float] = field(default_factory=dict)
 
     def summarize(self) -> str:
@@ -145,6 +146,8 @@ class CoreAggregationSim:
         fused_update_features: Optional[int] = None,
         order: Optional[np.ndarray] = None,
         block_size: int = 32,
+        reuse_output_buffer: bool = False,
+        label: Optional[str] = None,
     ) -> SimReport:
         """Simulate one aggregation pass (plus fused update if requested).
 
@@ -152,6 +155,19 @@ class CoreAggregationSim:
             fused_update_features: when set, each B-vertex block is
                 followed by the update GEMM to this output width
                 (Algorithm 2); None simulates aggregation only.
+            reuse_output_buffer: fused-inference output placement
+                (Figure 5c) — each core writes its aggregation results
+                into one reusable ``block_size``-row buffer instead of
+                the full ``a`` matrix, so output traffic stays resident
+                after the first block.  Default False keeps the
+                write-through-to-``a`` behaviour of the unfused kernels
+                and fused training.
+            label: when set and telemetry is enabled, publish the
+                hierarchy counters as ``sim.<label>.*`` metrics (plus a
+                ``sim.<label>.runs`` counter) and record a
+                ``sim.<label>`` span — the hook bottleneck attribution
+                uses to reconcile cost-model traffic against this
+                simulator (:mod:`repro.obs.attrib`).
         """
         machine = self.machine
         hierarchy = MemoryHierarchy(machine, cache_scale=self.cache_scale)
@@ -172,6 +188,14 @@ class CoreAggregationSim:
                 end = min(start + block_size, min((core + 1) * chunk, n))
                 for pos in range(start, end):
                     trace = vertex_trace(graph, layout, int(order[pos]))
+                    if reuse_output_buffer:
+                        # Per-core buffer slot in the a region: the slot
+                        # address repeats every block, so only the first
+                        # block's writes miss.
+                        slot = core * block_size + (pos - start) % block_size
+                        out_lines = layout.output_lines(slot)
+                    else:
+                        out_lines = list(trace.output_lines)
                     for addr in (
                         *trace.index_lines,
                         *trace.factor_lines,
@@ -181,7 +205,7 @@ class CoreAggregationSim:
                         issued_lines[core] += 1
                         if result.level == "DRAM":
                             dram_lines[core] += 1
-                    for addr in trace.output_lines:
+                    for addr in out_lines:
                         result = hierarchy.access(core, addr, write=True)
                         issued_lines[core] += 1
                         if result.level == "DRAM":
@@ -220,7 +244,7 @@ class CoreAggregationSim:
         stall = max(0.0, memory_cycles - update_cycles) / total_cycles if total_cycles else 0.0
         l2_demand = hierarchy.l2_accesses() + extra_l2_hits
         l2_misses = sum(c.stats.misses for c in hierarchy.l2)
-        return SimReport(
+        report = SimReport(
             cycles=total_cycles,
             seconds=total_cycles / machine.frequency_hz,
             l1_accesses=int(hierarchy.l1_accesses() + extra_l1),
@@ -230,8 +254,46 @@ class CoreAggregationSim:
             l2_miss_rate=l2_misses / l2_demand if l2_demand else 0.0,
             memory_stall_fraction=min(1.0, stall),
             update_cycles=update_cycles,
+            dram_bytes=hierarchy.dram_traffic_bytes(),
             detail={
                 "memory_cycles": memory_cycles,
                 "issued_lines": float(sum(issued_lines)),
             },
         )
+        if label is not None:
+            self._publish(label, graph, feature_len, hierarchy, report)
+        return report
+
+    def _publish(
+        self,
+        label: str,
+        graph: CSRGraph,
+        feature_len: int,
+        hierarchy: MemoryHierarchy,
+        report: SimReport,
+    ) -> None:
+        """Expose one run's counters to the telemetry layer (no-op when off)."""
+        from ..obs import get_metrics, get_tracer
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            hierarchy.publish_metrics(prefix=f"sim.{label}")
+            metrics.inc(f"sim.{label}.runs")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record(
+                f"sim.{label}",
+                duration_s=report.seconds,
+                attrs={
+                    "vertices": graph.num_vertices,
+                    "edges": graph.num_edges,
+                    "features": feature_len,
+                    "modeled": True,
+                },
+                counters={
+                    "dram_lines": float(report.dram_lines),
+                    "dram_bytes": report.dram_bytes,
+                    "l1_accesses": float(report.l1_accesses),
+                    "l2_accesses": float(report.l2_accesses),
+                },
+            )

@@ -141,6 +141,11 @@ class MemoryHierarchy:
         metrics.inc(f"{prefix}.dram.lines_served", self.dram.stats.lines_served)
         metrics.inc(f"{prefix}.dram.bytes_served", self.dram.stats.bytes_served)
         metrics.inc(f"{prefix}.dram.busy_cycles", self.dram.stats.busy_cycles)
+        metrics.set_gauge(f"{prefix}.l2.miss_rate", self.l2_miss_rate())
+
+    def dram_traffic_bytes(self) -> float:
+        """DRAM bytes the hierarchy has served so far (fills, line-granular)."""
+        return float(self.dram.stats.bytes_served)
 
     def l1_accesses(self) -> int:
         return sum(c.stats.accesses for c in self.l1)

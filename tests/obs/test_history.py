@@ -1,0 +1,210 @@
+"""Tests for the perf-regression history and comparison gate."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    DEFAULT_THRESHOLD,
+    HistoryEntry,
+    append_history,
+    baseline_medians,
+    compare_entries,
+    entry_from_bench_results,
+    entry_from_run_report,
+    load_history,
+)
+
+
+def entry(elapsed, label="bench", ts=1000.0, **extra):
+    metrics = {"elapsed_s": elapsed}
+    metrics.update(extra)
+    return HistoryEntry(label=label, timestamp=ts, metrics=metrics)
+
+
+BENCH_DOC = {
+    "schema": 1,
+    "generated_unix": 1700000000.0,
+    "elapsed_s": 12.5,
+    "scale": 0.5,
+    "environment": {"git_sha": "abc123"},
+    "experiments": [
+        {"key": "fig3", "max_paper_deviation": 0.08},
+        {"key": "tab3", "max_paper_deviation": 0.02},
+        {"key": "nopaper", "max_paper_deviation": None},
+    ],
+    "summary": {
+        "experiments": 3,
+        "rows": 20,
+        "rows_with_paper": 15,
+        "max_paper_deviation": 0.08,
+    },
+}
+
+
+class TestEntries:
+    def test_entry_from_bench_results(self):
+        e = entry_from_bench_results(BENCH_DOC, label="quick")
+        assert e.label == "quick"
+        assert e.timestamp == 1700000000.0
+        assert e.metrics["elapsed_s"] == 12.5
+        assert e.metrics["max_paper_deviation"] == 0.08
+        assert e.metrics["deviation.fig3"] == 0.08
+        assert e.metrics["deviation.tab3"] == 0.02
+        assert "deviation.nopaper" not in e.metrics
+        assert e.meta["git_sha"] == "abc123"
+
+    def test_entry_from_run_report_sums_span_durations(self):
+        report = {
+            "trace_epoch_unix": 1700000001.0,
+            "meta": {"command": "train"},
+            "spans": [
+                {"name": "kernel.basic", "duration_s": 0.004},
+                {"name": "kernel.basic", "duration_s": 0.006},
+                {"name": "epoch", "duration_s": 0.020},
+            ],
+        }
+        e = entry_from_run_report(report)
+        assert e.metrics["span.kernel.basic.total_s"] == pytest.approx(0.010)
+        assert e.metrics["span.epoch.total_s"] == pytest.approx(0.020)
+        assert e.meta["command"] == "train"
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, entry(1.0, ts=1.0))
+        append_history(path, entry(2.0, label="other", ts=2.0))
+        append_history(path, entry(3.0, ts=3.0))
+        assert [e.metrics["elapsed_s"] for e in load_history(path)] == [1, 2, 3]
+        assert [e.label for e in load_history(path, label="bench")] == [
+            "bench",
+            "bench",
+        ]
+        assert load_history(str(tmp_path / "missing.jsonl")) == []
+
+
+class TestCompare:
+    def test_identical_rerun_passes(self):
+        baseline = [entry(10.0) for _ in range(5)]
+        report = compare_entries(baseline, entry(10.0))
+        assert report.ok
+        assert all(c.status == "ok" for c in report.comparisons)
+
+    def test_twenty_percent_slowdown_fails(self):
+        baseline = [entry(10.0) for _ in range(5)]
+        report = compare_entries(baseline, entry(12.0))
+        assert not report.ok
+        assert report.regressions[0].name == "elapsed_s"
+        assert report.regressions[0].ratio == pytest.approx(1.2)
+
+    def test_median_absorbs_one_noisy_baseline_run(self):
+        baseline = [entry(10.0), entry(10.0), entry(50.0), entry(10.0), entry(10.0)]
+        report = compare_entries(baseline, entry(11.0))
+        assert report.ok  # median is 10, not dragged up by the 50
+
+    def test_baseline_window_is_most_recent_k(self):
+        entries = [entry(100.0)] + [entry(10.0) for _ in range(5)]
+        medians = baseline_medians(entries, baseline_runs=5)
+        assert medians["elapsed_s"] == 10.0
+
+    def test_higher_is_better_flips_direction(self):
+        baseline = [entry(10.0, throughput=100.0) for _ in range(3)]
+        report = compare_entries(
+            baseline,
+            entry(10.0, throughput=70.0),
+            higher_is_better=["throughput"],
+        )
+        assert [c.name for c in report.regressions] == ["throughput"]
+
+    def test_new_metric_never_gates(self):
+        baseline = [entry(10.0)]
+        report = compare_entries(baseline, entry(10.0, brand_new=99.0))
+        new = [c for c in report.comparisons if c.status == "new"]
+        assert [c.name for c in new] == ["brand_new"]
+        assert report.ok
+
+    def test_zero_baseline_skipped(self):
+        baseline = [entry(10.0, deviation=0.0)]
+        report = compare_entries(baseline, entry(10.0, deviation=0.5))
+        skipped = [c for c in report.comparisons if c.status == "skipped"]
+        assert [c.name for c in skipped] == ["deviation"]
+        assert report.ok
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_entries([entry(1.0)], entry(1.0), threshold=-0.1)
+
+    def test_render_mentions_verdict(self):
+        baseline = [entry(10.0)]
+        ok = compare_entries(baseline, entry(10.0)).render()
+        bad = compare_entries(baseline, entry(20.0)).render()
+        assert "OK" in ok and "REGRESSED" in bad
+        assert f"{DEFAULT_THRESHOLD:.0%}" in ok
+
+
+class TestCompareCli:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def write_history(self, path, values, label="bench"):
+        for i, value in enumerate(values):
+            append_history(str(path), entry(value, label=label, ts=float(i)))
+
+    def test_exit_zero_on_identical_rerun(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        self.write_history(path, [10.0, 10.0, 10.0, 10.0])
+        assert self.run_cli(["compare", "--history", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_slowdown(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        self.write_history(path, [10.0, 10.0, 10.0, 12.0])
+        assert self.run_cli(["compare", "--history", str(path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_trivial_pass_without_baseline(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        self.write_history(path, [10.0])
+        assert self.run_cli(["compare", "--history", str(path)]) == 0
+        assert "trivially" in capsys.readouterr().out
+
+    def test_current_bench_doc_against_history(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        for i in range(3):
+            append_history(
+                str(path),
+                entry_from_bench_results(BENCH_DOC, label="bench"),
+            )
+        current = dict(BENCH_DOC, elapsed_s=30.0)
+        current_path = tmp_path / "BENCH_results.json"
+        current_path.write_text(json.dumps(current))
+        code = self.run_cli(
+            [
+                "compare",
+                "--history",
+                str(path),
+                "--current",
+                str(current_path),
+            ]
+        )
+        assert code == 1  # 30s vs 12.5s baseline
+
+    def test_label_filter(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        self.write_history(path, [10.0, 10.0], label="quick")
+        self.write_history(path, [99.0], label="full")
+        assert (
+            self.run_cli(
+                ["compare", "--history", str(path), "--label", "quick"]
+            )
+            == 0
+        )
+
+    def test_unrecognized_current_doc(self, tmp_path, capsys):
+        bogus = tmp_path / "x.json"
+        bogus.write_text("{}")
+        code = self.run_cli(
+            ["compare", "--history", str(tmp_path / "h.jsonl"), "--current", str(bogus)]
+        )
+        assert code == 2

@@ -43,6 +43,59 @@ class TestMetricTypes:
     def test_empty_histogram_dict_is_finite(self):
         d = Histogram().to_dict()
         assert d["min"] == 0.0 and d["max"] == 0.0 and d["mean"] == 0.0
+        assert d["p50"] == 0.0 and d["p95"] == 0.0 and d["p99"] == 0.0
+
+    def test_histogram_exact_percentiles(self):
+        h = Histogram()
+        for value in range(1, 101):  # 1..100
+            h.observe(float(value))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.percentile(99) == pytest.approx(99.01)
+
+    def test_histogram_percentiles_in_export(self):
+        h = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        d = h.to_dict()
+        assert d["p50"] == pytest.approx(2.5)
+        assert d["p99"] <= d["max"]
+        assert d["p50"] <= d["p95"] <= d["p99"]
+
+    def test_histogram_bucket_fallback_past_cap(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = Histogram()
+        for _ in range(HISTOGRAM_SAMPLE_CAP + 500):
+            h.observe(8.0)  # exactly one bucket: [8, 16)
+        p50 = h.percentile(50)
+        assert h.min <= p50 <= h.max  # clamped into observed range
+        assert p50 == pytest.approx(8.0)
+
+    def test_histogram_bucket_fallback_orders_buckets(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = Histogram()
+        for _ in range(HISTOGRAM_SAMPLE_CAP):
+            h.observe(1.0)
+        for _ in range(HISTOGRAM_SAMPLE_CAP):
+            h.observe(1000.0)
+        # Half the mass sits at ~1, half at ~1000: p25 stays low, p95 high.
+        assert h.percentile(25) < 2.0
+        assert h.percentile(95) > 500.0
+
+    def test_histogram_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_histogram_zero_and_negative_values(self):
+        h = Histogram()
+        for value in (0.0, -1.0, 2.0):
+            h.observe(value)
+        assert h.percentile(0) == -1.0
+        assert h.percentile(100) == 2.0
 
 
 class TestRegistry:

@@ -52,3 +52,37 @@ class TestCharacterizationTable:
     def test_improvement_metric(self, table):
         gain = table.improvement("products", "retiring")
         assert gain > 1.0  # c-locality retires more than distgnn
+
+    def test_baseline_is_memory_bound(self, table):
+        """The Figure 3 premise Table 4 elaborates: DistGNN stalls on memory."""
+        report = table.report("products", "distgnn")
+        assert report.memory_bound > 0.5
+        assert report.memory_bound > report.retiring
+
+    def test_optimized_variants_shrink_memory_bound(self, table):
+        base = table.report("products", "distgnn").memory_bound
+        best = table.report("products", "c-locality").memory_bound
+        assert best < base
+
+    def test_slot_shares_are_fractions(self, table):
+        for variant in TABLE4_VARIANTS:
+            report = table.report("products", variant)
+            for attr in (
+                "retiring", "memory_bound", "l2_bound", "l3_bound",
+                "dram_bandwidth_bound", "dram_latency_bound",
+                "fill_buffer_full",
+            ):
+                assert 0.0 <= getattr(report, attr) <= 1.0, (variant, attr)
+
+    def test_unknown_keys_raise(self, table):
+        with pytest.raises(KeyError):
+            table.report("nonexistent-graph", "distgnn")
+        with pytest.raises(KeyError):
+            table.report("products", "nonexistent-variant")
+
+    def test_variant_subset_respected(self):
+        graphs = {"products": load_dataset("products", scale=0.15, seed=0)}
+        table = characterization_table(
+            graphs, {"products": 64}, variants=("distgnn", "combined")
+        )
+        assert set(table.rows["products"]) == {"distgnn", "combined"}

@@ -63,6 +63,69 @@ class TestFused:
         assert fused.memory_stall_fraction <= agg.memory_stall_fraction
 
 
+class TestOutputBufferReuse:
+    def test_reuse_cuts_dram_traffic(self):
+        """Figure 5c: the reusable per-core buffer drops the a-stream.
+
+        Needs caches that actually hold the buffer between blocks — and
+        more than one block per core, or there is nothing to reuse — so
+        run a small graph on the 12-core machine with full-size caches.
+        """
+        from repro.graphs import power_law_graph
+        from repro.perf import cascade_lake_12
+
+        small = power_law_graph(800, 6.0, seed=1, name="reuse-twin")
+        sim = CoreAggregationSim(cascade_lake_12())
+        plain = sim.run(small, 16)
+        reused = sim.run(small, 16, reuse_output_buffer=True)
+        assert reused.dram_lines < plain.dram_lines
+        assert reused.dram_bytes < plain.dram_bytes
+
+    def test_dram_bytes_match_lines(self, agg_report):
+        # Every DRAM fill is one whole 64B line; evicted-dirty writebacks
+        # are not modeled, so bytes == lines served * 64.
+        assert agg_report.dram_bytes >= agg_report.dram_lines * 64
+
+
+class TestLabelTelemetry:
+    def test_label_publishes_metrics_and_span(self, graph):
+        from repro import obs
+
+        tracer, metrics = obs.enable()
+        try:
+            report = CoreAggregationSim(cache_scale=0.01).run(
+                graph, 32, label="basic"
+            )
+        finally:
+            obs.disable()
+        snapshot = metrics.snapshot()
+        assert snapshot["sim.basic.runs"]["value"] == 1.0
+        assert (
+            snapshot["sim.basic.dram.bytes_served"]["value"]
+            == report.dram_bytes
+        )
+        spans = tracer.spans("sim.basic")
+        assert len(spans) == 1
+        assert spans[0].counters["dram_bytes"] == report.dram_bytes
+
+    def test_no_label_publishes_nothing(self, graph):
+        from repro import obs
+
+        tracer, metrics = obs.enable()
+        try:
+            CoreAggregationSim(cache_scale=0.01).run(graph, 32)
+        finally:
+            obs.disable()
+        assert not any(n.startswith("sim.") for n in metrics.snapshot())
+        assert tracer.spans() == []
+
+    def test_label_without_telemetry_is_noop(self, graph):
+        report = CoreAggregationSim(cache_scale=0.01).run(
+            graph, 32, label="basic"
+        )
+        assert report.dram_bytes > 0
+
+
 class TestOrderSupport:
     def test_custom_order_changes_nothing_structural(self, graph):
         rng = np.random.default_rng(0)

@@ -69,3 +69,75 @@ class TestVertexTrace:
             + layout.feature_lines(0)
         )
         assert list(trace.gather_lines) == expected
+
+    def test_index_factor_lines_aligned_rows_line_spaced(self, tiny_graph):
+        layout = layout_for(tiny_graph, 17)  # padded rows
+        for v in range(tiny_graph.num_vertices):
+            trace = vertex_trace(tiny_graph, layout, v)
+            for addr in (*trace.index_lines, *trace.factor_lines):
+                assert addr % 64 == 0
+            # Feature/output rows are row-granular: lines of one row are
+            # spaced exactly one cache line apart.
+            rows = [
+                trace.gather_lines[i : i + layout.lines_per_row]
+                for i in range(0, len(trace.gather_lines), layout.lines_per_row)
+            ]
+            for row in rows:
+                assert [b - a for a, b in zip(row, row[1:])] == [64] * (
+                    len(row) - 1
+                )
+
+
+class TestCompulsoryFootprint:
+    """Distinct lines across a full pass = the working set.
+
+    This is the identity the attribution reconciliation relies on: with
+    caches larger than the working set, the simulator's DRAM traffic is
+    exactly the distinct-line footprint below.
+    """
+
+    def test_distinct_lines_equal_working_set(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        order = np.arange(tiny_graph.num_vertices)
+        gather, output, index, factor = set(), set(), set(), set()
+        for trace in iter_traces(tiny_graph, layout, order):
+            gather.update(trace.gather_lines)
+            output.update(trace.output_lines)
+            index.update(trace.index_lines)
+            factor.update(trace.factor_lines)
+        n = tiny_graph.num_vertices
+        assert len(gather) == n * layout.lines_per_row
+        assert len(output) == n * layout.lines_per_row
+        # Index/factor arrays: 4B per edge, packed into whole lines.
+        expected_idx = len(
+            {a // 64 for a in range(layout.idx_base,
+                                    layout.idx_base + 4 * tiny_graph.num_edges)}
+        )
+        assert len(index) <= expected_idx
+        assert len(factor) <= expected_idx
+
+    def test_footprint_invariant_under_order(self, tiny_graph):
+        layout = layout_for(tiny_graph, 16)
+        forward = np.arange(tiny_graph.num_vertices)
+        backward = forward[::-1]
+
+        def lines(order):
+            seen = set()
+            for trace in iter_traces(tiny_graph, layout, order):
+                seen.update(trace.gather_lines)
+                seen.update(trace.output_lines)
+                seen.update(trace.index_lines)
+                seen.update(trace.factor_lines)
+            return seen
+
+        assert lines(forward) == lines(backward)
+
+    def test_input_and_output_rows_never_share_lines(self, tiny_graph):
+        """h and a rows must not alias — a hit on one is never the other."""
+        layout = layout_for(tiny_graph, 16)
+        gather, output = set(), set()
+        for v in range(tiny_graph.num_vertices):
+            trace = vertex_trace(tiny_graph, layout, v)
+            gather.update(a // 64 for a in trace.gather_lines)
+            output.update(a // 64 for a in trace.output_lines)
+        assert not gather & output
