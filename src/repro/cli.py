@@ -147,15 +147,22 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def _make_aggregation_kernel(backend: str, workers: int, task_size: int = 64):
-    """Optional multi-worker BasicKernel for the --workers/--backend flags."""
-    if backend == "serial" and workers == 1:
+def _make_aggregation_kernel(
+    backend: str, workers: int, task_size: int = 64, engine: str = None
+):
+    """Optional BasicKernel for the --workers/--backend/--engine flags.
+
+    Returns None (the SpMM oracle) only for the all-default single
+    serial worker with no explicit engine choice.
+    """
+    if backend == "serial" and workers == 1 and engine is None:
         return None
     from .kernels import BasicKernel
     from .parallel import ChunkExecutor
 
     return BasicKernel(
-        task_size=task_size, executor=ChunkExecutor(backend, workers)
+        task_size=task_size, executor=ChunkExecutor(backend, workers),
+        engine=engine,
     )
 
 
@@ -172,9 +179,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.model, args.features, args.hidden, args.classes,
         num_layers=args.layers, dropout=args.dropout, seed=args.seed,
     )
-    kernel = _make_aggregation_kernel(args.backend, args.workers)
+    kernel = _make_aggregation_kernel(args.backend, args.workers, engine=args.engine)
     if kernel is not None:
-        print(f"aggregation: basic kernel, {args.backend} x{args.workers}")
+        print(
+            f"aggregation: basic kernel ({kernel.engine} engine), "
+            f"{args.backend} x{args.workers}"
+        )
     trainer = Trainer(
         model, Adam(model, lr=args.lr), profile_sparsity=True,
         aggregation_kernel=kernel,
@@ -187,6 +197,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "epochs": args.epochs,
         "workers": args.workers,
         "backend": args.backend,
+        "engine": kernel.engine if kernel is not None else "spmm",
     }
     with _telemetry(args, meta):
         history = trainer.fit(
@@ -218,9 +229,13 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         ),
         bias=np.zeros(args.hidden, dtype=np.float32),
     )
+    from .kernels import resolve_engine
+
+    engine = resolve_engine(args.engine)
     exp = Experiment(
         "bench-parallel",
-        f"{args.kernel} kernel on {args.dataset} ({args.backend} backend)",
+        f"{args.kernel} kernel on {args.dataset} "
+        f"({args.backend} backend, {engine} engine)",
         )
     meta = {
         "command": "bench-parallel",
@@ -229,6 +244,7 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         "kernel": args.kernel,
         "backend": args.backend,
         "workers": list(args.workers),
+        "engine": engine,
     }
     with _telemetry(args, meta):
         for workers in args.workers:
@@ -237,16 +253,20 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
                 continue
             executor = ChunkExecutor(args.backend, workers)
             if args.kernel == "basic":
-                kernel = BasicKernel(task_size=args.task_size, executor=executor)
+                kernel = BasicKernel(
+                    task_size=args.task_size, executor=executor, engine=engine
+                )
                 _, stats = kernel.aggregate(graph, h, args.aggregator)
             elif args.kernel == "compression":
-                kernel = CompressedKernel(task_size=args.task_size, executor=executor)
+                kernel = CompressedKernel(
+                    task_size=args.task_size, executor=executor, engine=engine
+                )
                 _, stats = kernel.aggregate(graph, h, args.aggregator)
             elif args.kernel == "fusion":
-                kernel = FusedKernel(executor=executor)
+                kernel = FusedKernel(executor=executor, engine=engine)
                 _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
             else:  # combined
-                kernel = CompressedFusedKernel(executor=executor)
+                kernel = CompressedFusedKernel(executor=executor, engine=engine)
                 _, _, stats = kernel.run_layer(graph, h, params, args.aggregator)
             report = kernel.last_report
             exp.add(f"{workers} workers wall time", report.wall_time_s, unit="s")
@@ -281,9 +301,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     executor = ChunkExecutor(args.backend, args.workers)
     if args.kernel == "basic":
-        kernel = BasicKernel(executor=executor)
+        kernel = BasicKernel(executor=executor, engine=args.engine)
     else:
-        kernel = CompressedKernel(executor=executor)
+        kernel = CompressedKernel(executor=executor, engine=args.engine)
     trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
 
     tracer, metrics = obs.enable()
@@ -298,7 +318,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     ]
     print(
         f"profiled {args.epochs} epoch(s) on {graph.num_vertices} vertices, "
-        f"{args.kernel} kernel, {args.backend} x{args.workers} "
+        f"{args.kernel} kernel ({kernel.engine} engine), "
+        f"{args.backend} x{args.workers} "
         f"(final loss {history.final_loss:.4f})"
     )
     print("\n== span tree ==")
@@ -325,6 +346,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "command": "profile",
         "vertices": args.vertices,
         "kernel": args.kernel,
+        "engine": kernel.engine,
         "workers": args.workers,
         "backend": args.backend,
         "epochs": args.epochs,
@@ -481,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="serial"
     )
+    p.add_argument(
+        "--engine", choices=["loop", "batched"], default=None,
+        help="chunk-execution engine (default: batched, or $REPRO_ENGINE); "
+        "forces the basic kernel even for serial x1",
+    )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
     p.add_argument(
@@ -510,6 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="thread"
     )
+    p.add_argument(
+        "--engine", choices=["loop", "batched"], default=None,
+        help="chunk-execution engine (default: batched, or $REPRO_ENGINE)",
+    )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
     p.add_argument(
@@ -530,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=_positive_int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--kernel", choices=["basic", "compression"], default="basic")
+    p.add_argument(
+        "--engine", choices=["loop", "batched"], default=None,
+        help="chunk-execution engine (default: batched, or $REPRO_ENGINE)",
+    )
     p.add_argument("--workers", type=_positive_int, default=2)
     p.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="thread"

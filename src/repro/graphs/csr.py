@@ -22,6 +22,19 @@ class GraphError(ValueError):
     """Raised when a graph is structurally invalid."""
 
 
+class GraphToken:
+    """Weakref-able identity token; lives exactly as long as its graph.
+
+    Caches that specialize per graph (e.g. the JIT kernel cache) key on
+    this token's id instead of ``id(graph)``: the graph holds the only
+    strong reference, so the token dies with the graph and a weakref
+    callback can evict stale entries *before* the id can be recycled by
+    a look-alike graph allocated at the same address.
+    """
+
+    __slots__ = ("__weakref__",)
+
+
 @dataclass
 class CSRGraph:
     """An immutable directed graph in CSR form.
@@ -37,6 +50,7 @@ class CSRGraph:
     indices: np.ndarray
     name: str = "graph"
     _degrees: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _token: Optional[GraphToken] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
@@ -102,6 +116,17 @@ class CSRGraph:
         if self._degrees is None:
             self._degrees = np.diff(self.indptr)
         return self._degrees
+
+    def cache_token(self) -> GraphToken:
+        """Per-object identity token for graph-keyed caches.
+
+        Unlike ``id(self)``, the token cannot alias another graph: it is
+        created lazily, referenced only by this graph, and supports
+        weakrefs so caches can evict entries when the graph dies.
+        """
+        if self._token is None:
+            self._token = GraphToken()
+        return self._token
 
     def degree(self, v: int) -> int:
         return int(self.indptr[v + 1] - self.indptr[v])

@@ -61,18 +61,20 @@ def locality_order(graph: CSRGraph) -> np.ndarray:
     indptr, indices = graph.indptr, graph.indices
 
     # owner[v] = the highest-degree vertex among N(v) ∪ {v}; ties broken
-    # toward the lowest id for determinism.
+    # toward the lowest id for determinism.  Vectorized as a segment max
+    # over the lexicographic key (degree desc, id asc) packed into one
+    # int64 score: deg * (n + 1) - id is strictly monotone in that key
+    # because ids stay below n + 1.
     owner = np.arange(n, dtype=np.int64)
-    best = degs.copy()
-    for v in range(n):
-        row = indices[indptr[v] : indptr[v + 1]]
-        if len(row) == 0:
-            continue
-        row_degs = degs[row]
-        j = int(np.argmax(row_degs))
-        if row_degs[j] > best[v] or (row_degs[j] == best[v] and row[j] < owner[v]):
-            owner[v] = row[j]
-            best[v] = row_degs[j]
+    if graph.num_edges:
+        scores = degs[indices] * np.int64(n + 1) - indices
+        nonempty = np.flatnonzero(degs)
+        best = np.maximum.reduceat(scores, indptr[nonempty])
+        self_scores = degs[nonempty] * np.int64(n + 1) - nonempty
+        take = best > self_scores
+        won = best[take]
+        owner_degs = (won + n) // (n + 1)
+        owner[nonempty[take]] = owner_degs * (n + 1) - won
 
     # Emit groups: a counting sort of vertices by owner id preserves the
     # "all members of L[u'] adjacent" property of Lines 8-12.
@@ -87,7 +89,7 @@ def apply_order(graph: CSRGraph, order: np.ndarray) -> CSRGraph:
     """
     n = graph.num_vertices
     order = np.asarray(order, dtype=np.int64)
-    if sorted(order.tolist()) != list(range(n)):
+    if not is_permutation(order, n):
         raise ValueError("order must be a permutation of all vertex ids")
     new_id = np.empty(n, dtype=np.int64)
     new_id[order] = np.arange(n, dtype=np.int64)

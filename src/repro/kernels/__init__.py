@@ -2,9 +2,12 @@
 
 from .base import (
     AggregationKernel,
+    DEFAULT_ENGINE,
+    ENGINES,
     FusedLayerKernel,
     KernelStats,
     UpdateParams,
+    resolve_engine,
     validate_inputs,
 )
 from .basic import (
@@ -21,9 +24,12 @@ from .spmm import SpMMKernel, spmm_layer
 
 __all__ = [
     "AggregationKernel",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "FusedLayerKernel",
     "KernelStats",
     "UpdateParams",
+    "resolve_engine",
     "validate_inputs",
     "BasicKernel",
     "DEFAULT_PREFETCH_DISTANCE",

@@ -11,12 +11,30 @@ prices.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+
+#: Execution engines for the chunk workloads: ``loop`` runs the original
+#: per-vertex Python closure; ``batched`` runs the vectorized CSR-segment
+#: reduce (Alg. 1's vector lanes as numpy calls).
+ENGINES = ("loop", "batched")
+
+#: Engine used when a kernel is constructed without an explicit choice.
+DEFAULT_ENGINE = "batched"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine choice: explicit arg > ``REPRO_ENGINE`` > default."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 @dataclass

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..obs import get_metrics, get_tracer, publish_counters
-from .base import AggregationKernel, KernelStats, validate_inputs
+from .base import AggregationKernel, KernelStats, resolve_engine, validate_inputs
 from .jit import JitKernelCache, KernelSpec
 from ..parallel.executor import ChunkExecutor, ExecutionReport
 from ..parallel.plan import build_chunk_plan
@@ -51,6 +51,7 @@ class BasicKernel(AggregationKernel):
         prefetch_distance: int = DEFAULT_PREFETCH_DISTANCE,
         jit_cache: Optional[JitKernelCache] = None,
         executor: Optional[ChunkExecutor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if task_size <= 0:
             raise ValueError(f"task_size must be positive, got {task_size}")
@@ -60,6 +61,7 @@ class BasicKernel(AggregationKernel):
         self.prefetch_distance = prefetch_distance
         self.jit_cache = jit_cache or JitKernelCache()
         self.executor = executor or ChunkExecutor()
+        self.engine = resolve_engine(engine)
         self.last_report: Optional[ExecutionReport] = None
 
     name = "basic"
@@ -84,9 +86,8 @@ class BasicKernel(AggregationKernel):
             raise ValueError("order must cover every vertex exactly once")
 
         compiled_before = self.jit_cache.compilations
-        inner = self.jit_cache.specialize(
-            graph, KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
-        )
+        engine = resolve_engine(self.engine)
+        spec = KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
         workload = BasicAggregationWorkload(
             graph,
             h,
@@ -94,10 +95,14 @@ class BasicKernel(AggregationKernel):
             order,
             prefetch_distance=self.prefetch_distance,
             prefetch_lines=PREFETCH_LINES_PER_VECTOR,
+            engine=engine,
         )
         # In-process backends reuse the cached closure; process workers
         # rebuild it from the pickled workload (prepare()).
-        workload.attach_inner(inner)
+        if engine == "batched":
+            workload.attach_batched(self.jit_cache.specialize_batched(graph, spec))
+        else:
+            workload.attach_inner(self.jit_cache.specialize(graph, spec))
         plan = build_chunk_plan(graph, self.task_size, order)
         with get_tracer().span(
             "kernel.basic",
@@ -107,6 +112,7 @@ class BasicKernel(AggregationKernel):
             features=int(h.shape[1]),
             backend=self.executor.backend,
             workers=self.executor.workers,
+            engine=engine,
         ) as span:
             outputs, stats, report = self.executor.run(workload, plan)
             self.last_report = report

@@ -29,6 +29,7 @@ from .base import (
     FusedLayerKernel,
     KernelStats,
     UpdateParams,
+    resolve_engine,
     validate_inputs,
 )
 from .basic import DEFAULT_TASK_SIZE
@@ -58,11 +59,13 @@ class CompressedKernel(AggregationKernel):
         self,
         task_size: int = DEFAULT_TASK_SIZE,
         executor: Optional[ChunkExecutor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if task_size <= 0:
             raise ValueError(f"task_size must be positive, got {task_size}")
         self.task_size = task_size
         self.executor = executor or ChunkExecutor()
+        self.engine = resolve_engine(engine)
         self.last_report: Optional[ExecutionReport] = None
 
     def aggregate(
@@ -81,8 +84,9 @@ class CompressedKernel(AggregationKernel):
         # plane's equivalent of per-gather mask expansion) and count every
         # gathered row as one expansion.
         dense = decompress_matrix(compressed)
+        engine = resolve_engine(self.engine)
         workload = BasicAggregationWorkload(
-            graph, dense, aggregator, order, count_decompressed=True
+            graph, dense, aggregator, order, count_decompressed=True, engine=engine
         )
         plan = build_chunk_plan(graph, self.task_size, order)
         with get_tracer().span(
@@ -93,6 +97,7 @@ class CompressedKernel(AggregationKernel):
             features=int(h.shape[1]),
             backend=self.executor.backend,
             workers=self.executor.workers,
+            engine=engine,
         ) as span:
             outputs, stats, report = self.executor.run(workload, plan)
             self.last_report = report
@@ -115,12 +120,14 @@ class CompressedFusedKernel(FusedLayerKernel):
         block_size: int = DEFAULT_BLOCK_SIZE,
         blocks_per_task: int = DEFAULT_BLOCKS_PER_TASK,
         executor: Optional[ChunkExecutor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if block_size <= 0 or blocks_per_task <= 0:
             raise ValueError("block_size and blocks_per_task must be positive")
         self.block_size = block_size
         self.blocks_per_task = blocks_per_task
         self.executor = executor or ChunkExecutor()
+        self.engine = resolve_engine(engine)
         self.last_report: Optional[ExecutionReport] = None
 
     def run_layer(
@@ -142,6 +149,7 @@ class CompressedFusedKernel(FusedLayerKernel):
             order = np.arange(n, dtype=np.int64)
         compressed = compress_matrix(h)
         dense = decompress_matrix(compressed)
+        engine = resolve_engine(self.engine)
         workload = FusedLayerWorkload(
             graph,
             dense,
@@ -151,6 +159,7 @@ class CompressedFusedKernel(FusedLayerKernel):
             block_size=self.block_size,
             keep_aggregation=keep_aggregation,
             count_decompressed=True,
+            engine=engine,
         )
         plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
         with get_tracer().span(
@@ -163,6 +172,7 @@ class CompressedFusedKernel(FusedLayerKernel):
             keep_aggregation=keep_aggregation,
             backend=self.executor.backend,
             workers=self.executor.workers,
+            engine=engine,
         ) as span:
             outputs, stats, report = self.executor.run(workload, plan)
             self.last_report = report

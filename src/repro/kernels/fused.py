@@ -23,7 +23,13 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..obs import get_metrics, get_tracer, publish_counters
-from .base import FusedLayerKernel, KernelStats, UpdateParams, validate_inputs
+from .base import (
+    FusedLayerKernel,
+    KernelStats,
+    UpdateParams,
+    resolve_engine,
+    validate_inputs,
+)
 from .basic import DEFAULT_PREFETCH_DISTANCE, PREFETCH_LINES_PER_VECTOR
 from .jit import JitKernelCache, KernelSpec
 from ..parallel.executor import ChunkExecutor, ExecutionReport
@@ -49,6 +55,7 @@ class FusedKernel(FusedLayerKernel):
         prefetch_distance: int = DEFAULT_PREFETCH_DISTANCE,
         jit_cache: Optional[JitKernelCache] = None,
         executor: Optional[ChunkExecutor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if block_size <= 0 or blocks_per_task <= 0:
             raise ValueError("block_size and blocks_per_task must be positive")
@@ -57,6 +64,7 @@ class FusedKernel(FusedLayerKernel):
         self.prefetch_distance = prefetch_distance
         self.jit_cache = jit_cache or JitKernelCache()
         self.executor = executor or ChunkExecutor()
+        self.engine = resolve_engine(engine)
         self.last_report: Optional[ExecutionReport] = None
 
     def run_layer(
@@ -80,9 +88,8 @@ class FusedKernel(FusedLayerKernel):
             raise ValueError("order must cover every vertex exactly once")
 
         compiled_before = self.jit_cache.compilations
-        inner = self.jit_cache.specialize(
-            graph, KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
-        )
+        engine = resolve_engine(self.engine)
+        spec = KernelSpec(feature_len=h.shape[1], aggregator=aggregator)
         workload = FusedLayerWorkload(
             graph,
             h,
@@ -93,8 +100,12 @@ class FusedKernel(FusedLayerKernel):
             keep_aggregation=keep_aggregation,
             prefetch_distance=self.prefetch_distance,
             prefetch_lines=PREFETCH_LINES_PER_VECTOR,
+            engine=engine,
         )
-        workload.attach_inner(inner)
+        if engine == "batched":
+            workload.attach_batched(self.jit_cache.specialize_batched(graph, spec))
+        else:
+            workload.attach_inner(self.jit_cache.specialize(graph, spec))
         plan = build_chunk_plan(graph, self.block_size * self.blocks_per_task, order)
         with get_tracer().span(
             "kernel.fusion",
@@ -106,6 +117,7 @@ class FusedKernel(FusedLayerKernel):
             keep_aggregation=keep_aggregation,
             backend=self.executor.backend,
             workers=self.executor.workers,
+            engine=engine,
         ) as span:
             outputs, stats, report = self.executor.run(workload, plan)
             self.last_report = report

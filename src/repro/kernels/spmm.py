@@ -10,12 +10,13 @@ prefetch tuning.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..nn.aggregate import normalized_adjacency
+from ..obs import get_metrics, get_tracer, publish_counters
 from .base import AggregationKernel, KernelStats, UpdateParams, validate_inputs
 
 
@@ -25,16 +26,41 @@ class SpMMKernel(AggregationKernel):
     name = "mkl"
 
     def aggregate(
-        self, graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn"
+        self,
+        graph: CSRGraph,
+        h: np.ndarray,
+        aggregator: str = "gcn",
+        order: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, KernelStats]:
+        """Aggregate all vertices with one SpMM.
+
+        ``order`` is accepted for interface uniformity with the other
+        aggregation kernels (variant sweeps pass it to every kernel) but
+        is a no-op: the sparse product computes all rows at once, so a
+        processing order cannot change the result or the work done.
+        """
         validate_inputs(graph, h)
-        a_hat = normalized_adjacency(graph, aggregator)
-        out = (a_hat @ h).astype(np.float32)
-        stats = KernelStats(
-            gathers=graph.num_edges + graph.num_vertices,
-            flops=2.0 * (graph.num_edges + graph.num_vertices) * h.shape[1],
-            tasks=1,
-        )
+        if order is not None and len(order) != graph.num_vertices:
+            raise ValueError("order must cover every vertex exactly once")
+        with get_tracer().span(
+            "kernel.mkl",
+            aggregator=aggregator,
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            features=int(h.shape[1]),
+            backend="serial",
+            workers=1,
+            engine="spmm",
+        ) as span:
+            a_hat = normalized_adjacency(graph, aggregator)
+            out = (a_hat @ h).astype(np.float32)
+            stats = KernelStats(
+                gathers=graph.num_edges + graph.num_vertices,
+                flops=2.0 * (graph.num_edges + graph.num_vertices) * h.shape[1],
+                tasks=1,
+            )
+            span.add_counters(stats.as_dict())
+        publish_counters(get_metrics(), "kernel.mkl", stats.as_dict(False))
         return out, stats
 
 

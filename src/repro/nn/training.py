@@ -69,6 +69,10 @@ class Trainer:
             ``BasicKernel`` on a multi-worker ``ChunkExecutor``) used for
             every forward aggregation; the backward pass stays on the
             transpose-SpMM oracle, which no kernel variant restructures.
+        engine: chunk-execution engine (``"loop"`` or ``"batched"``).
+            When given without a kernel, forward aggregation runs on a
+            default :class:`~repro.kernels.BasicKernel` using it; when a
+            kernel is given too, the kernel's engine is overridden.
     """
 
     def __init__(
@@ -77,10 +81,26 @@ class Trainer:
         optimizer: Optimizer,
         profile_sparsity: bool = False,
         aggregation_kernel: Optional[AggregationKernel] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.profile_sparsity = profile_sparsity
+        if engine is not None:
+            from ..kernels.base import resolve_engine
+
+            engine = resolve_engine(engine)
+            if aggregation_kernel is None:
+                from ..kernels.basic import BasicKernel
+
+                aggregation_kernel = BasicKernel(engine=engine)
+            elif hasattr(aggregation_kernel, "engine"):
+                aggregation_kernel.engine = engine
+            else:
+                raise ValueError(
+                    f"kernel {aggregation_kernel!r} has no engine knob"
+                )
+        self.engine = engine
         self.aggregation_kernel = aggregation_kernel
         self.history = TrainingHistory()
 

@@ -11,6 +11,18 @@ execution model:
 * the *executor* (``repro.parallel.executor``) runs chunks concurrently
   and merges the per-worker stats deterministically.
 
+Each workload executes on one of two engines:
+
+* ``loop`` — one specialized closure call per vertex (the original,
+  interpreter-bound execution);
+* ``batched`` — one batched segment-reduce call per chunk (or per fused
+  block), Alg. 1's vectorized gather-reduce with no Python-level
+  per-vertex loop.
+
+Both engines produce the same :class:`KernelStats` counters exactly and
+agree on the outputs to fp32 reduction-order tolerance (the engine
+differential suite enforces it).
+
 Workloads must be picklable so the ``process`` backend can ship them to
 worker processes.  Runtime-only state (JIT closures, factor arrays) is
 kept in attributes prefixed ``_rt_`` which are stripped from the pickled
@@ -26,8 +38,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..kernels.base import KernelStats, UpdateParams
-from ..kernels.jit import InnerKernel, JitKernelCache, KernelSpec
+from ..kernels.base import ENGINES, KernelStats, UpdateParams
+from ..kernels.jit import BatchedKernel, InnerKernel, JitKernelCache, KernelSpec
 from .plan import Chunk
 
 #: One chunk's output: name -> (vertex ids, rows to write at those ids).
@@ -53,7 +65,59 @@ class ChunkWorkload:
         return {k: v for k, v in self.__dict__.items() if not k.startswith("_rt_")}
 
 
-class BasicAggregationWorkload(ChunkWorkload):
+class _AggregationChunkBase(ChunkWorkload):
+    """Shared engine plumbing of the two aggregation workloads."""
+
+    graph: CSRGraph
+    h: np.ndarray
+    aggregator: str
+    engine: str
+
+    def attach_inner(self, inner: InnerKernel) -> None:
+        """Reuse a loop closure the caller already JIT-specialized."""
+        self._rt_inner = inner
+
+    def attach_batched(self, batched: BatchedKernel) -> None:
+        """Reuse a batched closure the caller already JIT-specialized."""
+        self._rt_batched = batched
+
+    def prepare(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        spec = KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator)
+        if self.engine == "batched":
+            if getattr(self, "_rt_batched", None) is None:
+                self._rt_batched = JitKernelCache().specialize_batched(
+                    self.graph, spec
+                )
+        elif getattr(self, "_rt_inner", None) is None:
+            self._rt_inner = JitKernelCache().specialize(self.graph, spec)
+        self._rt_degs = self.graph.degrees()
+
+    # ------------------------------------------------------------------
+    def _count_prefetches(
+        self, stats: KernelStats, start: int, stop: int
+    ) -> None:
+        """Vectorized Alg. 1 line 9 accounting, identical to the loop's."""
+        if not self.prefetch_distance:
+            return
+        n = len(self.order)
+        ahead = np.arange(start, stop, dtype=np.int64) + self.prefetch_distance
+        ahead = ahead[ahead < n]
+        if len(ahead):
+            degs = self._rt_degs
+            stats.prefetches += int(
+                ((degs[self.order[ahead]] + 1) * self.prefetch_lines).sum()
+            )
+
+    def _count_gathers(self, stats: KernelStats, verts: np.ndarray) -> None:
+        gathered = int((self._rt_degs[verts] + 1).sum())
+        stats.gathers += gathered
+        if self.count_decompressed:
+            stats.decompressed_rows += gathered
+
+
+class BasicAggregationWorkload(_AggregationChunkBase):
     """Algorithm 1's chunk body: gather-reduce ``T`` vertices with prefetch.
 
     Also serves the compressed kernel (Section 4.3): with
@@ -70,6 +134,7 @@ class BasicAggregationWorkload(ChunkWorkload):
         prefetch_distance: int = 0,
         prefetch_lines: int = 2,
         count_decompressed: bool = False,
+        engine: str = "loop",
     ) -> None:
         self.graph = graph
         self.h = h
@@ -78,24 +143,14 @@ class BasicAggregationWorkload(ChunkWorkload):
         self.prefetch_distance = prefetch_distance
         self.prefetch_lines = prefetch_lines
         self.count_decompressed = count_decompressed
-
-    def attach_inner(self, inner: InnerKernel) -> None:
-        """Reuse a closure the caller already JIT-specialized."""
-        self._rt_inner = inner
-
-    def prepare(self) -> None:
-        if getattr(self, "_rt_inner", None) is None:
-            cache = JitKernelCache()
-            self._rt_inner = cache.specialize(
-                self.graph,
-                KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator),
-            )
-        self._rt_degs = self.graph.degrees()
+        self.engine = engine
 
     def output_specs(self):
         return {"out": (self.h.shape, np.dtype(np.float32))}
 
     def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        if self.engine == "batched":
+            return self._run_chunk_batched(chunk)
         inner = self._rt_inner
         degs = self._rt_degs
         order = self.order
@@ -115,14 +170,25 @@ class BasicAggregationWorkload(ChunkWorkload):
                 stats.prefetches += (int(degs[v_ahead]) + 1) * self.prefetch_lines
         return {"out": (order[chunk.start : chunk.stop], rows)}, stats
 
+    def _run_chunk_batched(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        """The whole chunk in one segment-reduce call, same counters."""
+        verts = self.order[chunk.start : chunk.stop]
+        stats = KernelStats(tasks=1)
+        rows = self._rt_batched(self.h, verts)
+        self._count_gathers(stats, verts)
+        self._count_prefetches(stats, chunk.start, chunk.stop)
+        return {"out": (verts, rows)}, stats
 
-class FusedLayerWorkload(ChunkWorkload):
+
+class FusedLayerWorkload(_AggregationChunkBase):
     """Algorithm 2's task body: aggregate+update ``T`` blocks of ``B`` rows.
 
     Each chunk spans ``block_size * blocks_per_task`` vertices; blocks are
     aggregated into a scratch buffer and immediately updated with the
     small GEMM, so the ``a`` block never leaves cache.  With
     ``count_decompressed`` set this is the paper's ``combined`` variant.
+    The ``batched`` engine aggregates each block in one segment-reduce
+    call, preserving the block granularity (and ``stats.blocks``).
     """
 
     def __init__(
@@ -137,6 +203,7 @@ class FusedLayerWorkload(ChunkWorkload):
         prefetch_distance: int = 0,
         prefetch_lines: int = 2,
         count_decompressed: bool = False,
+        engine: str = "loop",
     ) -> None:
         self.graph = graph
         self.h = h
@@ -148,18 +215,7 @@ class FusedLayerWorkload(ChunkWorkload):
         self.prefetch_distance = prefetch_distance
         self.prefetch_lines = prefetch_lines
         self.count_decompressed = count_decompressed
-
-    def attach_inner(self, inner: InnerKernel) -> None:
-        self._rt_inner = inner
-
-    def prepare(self) -> None:
-        if getattr(self, "_rt_inner", None) is None:
-            cache = JitKernelCache()
-            self._rt_inner = cache.specialize(
-                self.graph,
-                KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator),
-            )
-        self._rt_degs = self.graph.degrees()
+        self.engine = engine
 
     def output_specs(self):
         n, f_in = self.h.shape
@@ -170,6 +226,8 @@ class FusedLayerWorkload(ChunkWorkload):
         return specs
 
     def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        if self.engine == "batched":
+            return self._run_chunk_batched(chunk)
         inner = self._rt_inner
         degs = self._rt_degs
         order = self.order
@@ -205,6 +263,39 @@ class FusedLayerWorkload(ChunkWorkload):
                 a_rows[local : local + count] = scratch
             # Update phase of the block (Alg. 2 lines 8-10): small GEMM.
             h_rows[local : local + count] = self.params.apply(scratch[:count])
+        idx = order[chunk.start : chunk.stop]
+        writes: ChunkWrites = {"h_out": (idx, h_rows)}
+        if a_rows is not None:
+            writes["a"] = (idx, a_rows)
+        return writes, stats
+
+    def _run_chunk_batched(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
+        """Per-block segment-reduce + GEMM, same counters as the loop."""
+        batched = self._rt_batched
+        order = self.order
+        f_in = self.h.shape[1]
+        stats = KernelStats(tasks=1)
+        h_rows = np.empty(
+            (chunk.num_vertices, self.params.weight.shape[1]), dtype=np.float32
+        )
+        a_rows = (
+            np.empty((chunk.num_vertices, f_in), dtype=np.float32)
+            if self.keep_aggregation
+            else None
+        )
+        for block_start in range(chunk.start, chunk.stop, self.block_size):
+            stats.blocks += 1
+            block_end = min(block_start + self.block_size, chunk.stop)
+            verts = order[block_start:block_end]
+            # Aggregation phase of the block (Alg. 2 lines 3-7), batched.
+            scratch = batched(self.h, verts)
+            self._count_gathers(stats, verts)
+            self._count_prefetches(stats, block_start, block_end)
+            local = block_start - chunk.start
+            if a_rows is not None:
+                a_rows[local : local + len(verts)] = scratch
+            # Update phase of the block (Alg. 2 lines 8-10): small GEMM.
+            h_rows[local : local + len(verts)] = self.params.apply(scratch)
         idx = order[chunk.start : chunk.stop]
         writes: ChunkWrites = {"h_out": (idx, h_rows)}
         if a_rows is not None:

@@ -28,6 +28,7 @@ from .traffic import (
 
 #: Traced span name -> cost-model variant it executes.
 SPAN_VARIANTS: Dict[str, str] = {
+    "kernel.mkl": "mkl",
     "kernel.basic": "basic",
     "kernel.fusion": "fusion",
     "kernel.compression": "compression",

@@ -106,6 +106,41 @@ class TestLocalityOrder:
         order = locality_order(graph)
         assert is_permutation(order, 5000)
 
+    @staticmethod
+    def _reference_owner_loop(graph):
+        """Algorithm 3's owner rule, per vertex: the max-degree neighbor
+        (smallest id on ties) owns v when it beats v's own degree (same
+        tie-break).  The vectorized implementation must match exactly."""
+        degs = graph.degrees()
+        owner = np.arange(graph.num_vertices, dtype=np.int64)
+        for v in range(graph.num_vertices):
+            row = graph.neighbors(v)
+            if len(row) == 0:
+                continue
+            best = row[np.argmax(degs[row] * (graph.num_vertices + 1) - row)]
+            if (degs[best], -best) > (degs[v], -v):
+                owner[v] = best
+        return np.argsort(owner, kind="stable").astype(np.int64)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vectorized_matches_reference_loop(self, seed):
+        graph = uniform_graph(200, avg_degree=5.0, seed=seed)
+        np.testing.assert_array_equal(
+            locality_order(graph), self._reference_owner_loop(graph)
+        )
+
+    def test_vectorized_matches_reference_loop_on_shapes(
+        self, tiny_graph, star10, chain20, small_community
+    ):
+        for graph in (tiny_graph, star10, chain20, small_community):
+            np.testing.assert_array_equal(
+                locality_order(graph), self._reference_owner_loop(graph)
+            )
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges(0, [])
+        assert len(locality_order(graph)) == 0
+
 
 class TestApplyOrder:
     def test_preserves_counts(self, small_uniform):
@@ -129,6 +164,16 @@ class TestApplyOrder:
     def test_rejects_non_permutation(self, tiny_graph):
         with pytest.raises(ValueError):
             apply_order(tiny_graph, np.array([0, 0, 1, 2, 3]))
+
+    def test_rejects_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            apply_order(tiny_graph, np.array([0, 1, 2, 3, 5]))
+        with pytest.raises(ValueError):
+            apply_order(tiny_graph, np.array([-1, 0, 1, 2, 3]))
+
+    def test_rejects_wrong_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            apply_order(tiny_graph, np.array([0, 1, 2]))
 
     def test_degree_multiset_preserved(self, small_community):
         order = locality_order(small_community)

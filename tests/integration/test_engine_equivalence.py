@@ -1,0 +1,234 @@
+"""Engine differential suite: the batched segment-reduce engine vs the
+per-vertex loop vs the scalar oracle.
+
+The batched engine replaces the interpreter-bound per-vertex closure loop
+with one CSR-segment ``np.add.reduceat`` call per chunk (per block for the
+fused kernels).  This suite is the contract that made it safe to flip the
+default: every kernel variant, aggregator, and processing order computes
+the same rows as :func:`gather_reduce_reference` under both engines, the
+work counters are *identical* (not merely close), and the degenerate
+shapes — empty graph, edgeless graph, single vertex, all-zero features —
+agree too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    load_dataset,
+    locality_order,
+    natural_order,
+    randomized_order,
+    synthetic_features,
+)
+from repro.kernels import (
+    BasicKernel,
+    CompressedFusedKernel,
+    CompressedKernel,
+    FusedKernel,
+    UpdateParams,
+)
+from repro.nn import GNNLayer
+from repro.nn.aggregate import gather_reduce_reference
+
+AGGREGATORS = ("gcn", "mean", "sum")
+ENGINES = ("loop", "batched")
+ORDERS = ("natural", "randomized", "locality")
+
+#: fp32 accumulation order differs between the engines (pairwise numpy
+#: reduction vs sequential closure sum); this bounds the drift.
+ATOL = 3e-5
+
+
+def make_order(graph, name):
+    if name == "natural":
+        return natural_order(graph)
+    if name == "randomized":
+        return randomized_order(graph, seed=5)
+    return locality_order(graph)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("wikipedia", scale=0.04, seed=9)
+
+
+@pytest.fixture(scope="module")
+def features(graph):
+    return synthetic_features(graph, 12, seed=4, sparsity=0.4)
+
+
+@pytest.fixture(scope="module")
+def params():
+    layer = GNNLayer(12, 8, aggregator="gcn", activation=True, seed=3)
+    return UpdateParams(weight=layer.weight, bias=layer.bias, activation=True)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("order_name", ORDERS)
+@pytest.mark.parametrize("aggregator", AGGREGATORS)
+class TestEveryVariantMatchesOracle:
+    def test_basic(self, graph, features, engine, order_name, aggregator):
+        order = make_order(graph, order_name)
+        reference = gather_reduce_reference(graph, features, aggregator)
+        out, _ = BasicKernel(engine=engine).aggregate(
+            graph, features, aggregator, order=order
+        )
+        np.testing.assert_allclose(out, reference, atol=ATOL)
+
+    def test_compressed(self, graph, features, engine, order_name, aggregator):
+        order = make_order(graph, order_name)
+        reference = gather_reduce_reference(graph, features, aggregator)
+        out, _ = CompressedKernel(engine=engine).aggregate(
+            graph, features, aggregator, order=order
+        )
+        np.testing.assert_allclose(out, reference, atol=ATOL)
+
+    def test_fused(self, graph, features, params, engine, order_name, aggregator):
+        order = make_order(graph, order_name)
+        reference = gather_reduce_reference(graph, features, aggregator)
+        h_out, a, _ = FusedKernel(engine=engine).run_layer(
+            graph, features, params, aggregator, keep_aggregation=True, order=order
+        )
+        np.testing.assert_allclose(a, reference, atol=ATOL)
+        np.testing.assert_allclose(
+            h_out, params.apply(reference.astype(np.float32)), atol=3e-4
+        )
+
+    def test_combined(self, graph, features, params, engine, order_name, aggregator):
+        order = make_order(graph, order_name)
+        reference = gather_reduce_reference(graph, features, aggregator)
+        h_out, a, _ = CompressedFusedKernel(engine=engine).run_layer(
+            graph, features, params, aggregator, keep_aggregation=True, order=order
+        )
+        np.testing.assert_allclose(a, reference, atol=ATOL)
+        np.testing.assert_allclose(
+            h_out, params.apply(reference.astype(np.float32)), atol=3e-4
+        )
+
+
+class TestStatsParity:
+    """The counters must be *identical* across engines — the time plane
+    prices the structural quantities, so "close" is not good enough."""
+
+    def test_basic_counters_exact(self, graph, features):
+        order = randomized_order(graph, seed=5)
+        _, loop = BasicKernel(engine="loop").aggregate(
+            graph, features, "gcn", order=order
+        )
+        _, batched = BasicKernel(engine="batched").aggregate(
+            graph, features, "gcn", order=order
+        )
+        assert loop.as_dict(False) == batched.as_dict(False)
+        assert loop.gathers > 0 and loop.prefetches > 0
+
+    def test_fused_counters_exact(self, graph, features, params):
+        order = randomized_order(graph, seed=5)
+        _, _, loop = FusedKernel(engine="loop").run_layer(
+            graph, features, params, "gcn", order=order
+        )
+        _, _, batched = FusedKernel(engine="batched").run_layer(
+            graph, features, params, "gcn", order=order
+        )
+        assert loop.as_dict(False) == batched.as_dict(False)
+        assert loop.blocks == batched.blocks > 0
+
+    def test_compressed_counters_exact(self, graph, features):
+        order = randomized_order(graph, seed=5)
+        _, loop = CompressedKernel(engine="loop").aggregate(
+            graph, features, "gcn", order=order
+        )
+        _, batched = CompressedKernel(engine="batched").aggregate(
+            graph, features, "gcn", order=order
+        )
+        assert loop.as_dict(False) == batched.as_dict(False)
+        assert loop.decompressed_rows == batched.decompressed_rows > 0
+
+    def test_combined_counters_exact(self, graph, features, params):
+        order = randomized_order(graph, seed=5)
+        _, _, loop = CompressedFusedKernel(engine="loop").run_layer(
+            graph, features, params, "gcn", order=order
+        )
+        _, _, batched = CompressedFusedKernel(engine="batched").run_layer(
+            graph, features, params, "gcn", order=order
+        )
+        assert loop.as_dict(False) == batched.as_dict(False)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDegenerateShapes:
+    def test_empty_graph(self, engine):
+        graph = CSRGraph.from_edges(0, [])
+        h = np.zeros((0, 4), dtype=np.float32)
+        out, stats = BasicKernel(engine=engine).aggregate(graph, h, "gcn")
+        assert out.shape == (0, 4)
+        assert stats.gathers == 0
+
+    def test_single_vertex(self, engine):
+        graph = CSRGraph.from_edges(1, [])
+        h = np.full((1, 3), 2.0, dtype=np.float32)
+        out, _ = BasicKernel(engine=engine).aggregate(graph, h, "gcn")
+        np.testing.assert_allclose(out, gather_reduce_reference(graph, h, "gcn"))
+
+    def test_isolated_vertices(self, engine):
+        """Edgeless graph: every output row is the scaled self term."""
+        graph = CSRGraph.from_edges(6, [])
+        h = synthetic_features(graph, 5, seed=1)
+        for aggregator in AGGREGATORS:
+            out, _ = BasicKernel(engine=engine).aggregate(graph, h, aggregator)
+            np.testing.assert_allclose(
+                out, gather_reduce_reference(graph, h, aggregator), atol=ATOL
+            )
+
+    def test_mixed_isolated_and_connected(self, engine):
+        graph = CSRGraph.from_edges(5, [(0, 1), (0, 2), (3, 0)])
+        h = synthetic_features(graph, 4, seed=2)
+        out, _ = BasicKernel(engine=engine).aggregate(graph, h, "mean")
+        np.testing.assert_allclose(
+            out, gather_reduce_reference(graph, h, "mean"), atol=ATOL
+        )
+
+    def test_all_zero_feature_rows(self, engine, graph):
+        h = np.zeros((graph.num_vertices, 6), dtype=np.float32)
+        out, _ = BasicKernel(engine=engine).aggregate(graph, h, "gcn")
+        np.testing.assert_array_equal(out, np.zeros_like(out))
+
+    def test_fused_single_vertex(self, engine):
+        graph = CSRGraph.from_edges(1, [])
+        h = np.ones((1, 4), dtype=np.float32)
+        layer = GNNLayer(4, 2, aggregator="gcn", seed=0)
+        params = UpdateParams(weight=layer.weight, bias=layer.bias, activation=True)
+        h_out, _, _ = FusedKernel(engine=engine).run_layer(graph, h, params, "gcn")
+        reference = params.apply(gather_reduce_reference(graph, h, "gcn").astype(np.float32))
+        np.testing.assert_allclose(h_out, reference, atol=ATOL)
+
+
+class TestEngineKnob:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            BasicKernel(engine="vectorized")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "loop")
+        assert BasicKernel().engine == "loop"
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        assert FusedKernel().engine == "batched"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "loop")
+        assert BasicKernel(engine="batched").engine == "batched"
+
+    def test_engine_recorded_on_span(self, graph, features):
+        from repro import obs
+
+        tracer, _ = obs.enable()
+        try:
+            BasicKernel(engine="batched").aggregate(graph, features, "gcn")
+        finally:
+            obs.disable()
+        spans = [s.to_record() for s in tracer.spans()]
+        kernel_spans = [s for s in spans if s["name"] == "kernel.basic"]
+        assert kernel_spans and all(
+            s["attrs"]["engine"] == "batched" for s in kernel_spans
+        )

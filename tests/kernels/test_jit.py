@@ -1,9 +1,11 @@
 """Unit tests for the JIT kernel-specialization cache (Section 4.1)."""
 
+import gc
+
 import numpy as np
 import pytest
 
-from repro.graphs import synthetic_features
+from repro.graphs import synthetic_features, uniform_graph
 from repro.kernels import BasicKernel, JitKernelCache, KernelSpec
 from repro.nn import aggregate
 
@@ -60,3 +62,118 @@ class TestAmortization:
         _, second = kernel.aggregate(small_products, h, "gcn")
         assert first.jit_compilations == 1
         assert second.jit_compilations == 0
+
+
+class TestBatchedSpecialization:
+    def test_matches_reference_on_all_vertices(self, small_products):
+        cache = JitKernelCache()
+        kernel = cache.specialize_batched(small_products, KernelSpec(12, "mean"))
+        h = synthetic_features(small_products, 12, seed=0)
+        reference = aggregate(small_products, h, "mean")
+        verts = np.arange(small_products.num_vertices, dtype=np.int64)
+        np.testing.assert_allclose(kernel(h, verts), reference, atol=2e-5)
+
+    def test_matches_loop_closure_per_chunk(self, small_products):
+        cache = JitKernelCache()
+        spec = KernelSpec(8, "gcn")
+        loop = cache.specialize(small_products, spec)
+        batched = cache.specialize_batched(small_products, spec)
+        h = synthetic_features(small_products, 8, seed=2)
+        verts = np.arange(17, 49, dtype=np.int64)
+        looped = np.stack([loop(h, int(v)) for v in verts])
+        np.testing.assert_allclose(batched(h, verts), looped, atol=2e-5)
+
+    def test_contiguous_and_scattered_paths_agree(self, small_products):
+        """The contiguous CSR-slice fast path and the reduceat gather
+        path must compute the same rows."""
+        cache = JitKernelCache()
+        kernel = cache.specialize_batched(small_products, KernelSpec(8, "gcn"))
+        h = synthetic_features(small_products, 8, seed=3)
+        verts = np.arange(10, 42, dtype=np.int64)
+        contiguous = kernel(h, verts)
+        shuffled = np.random.default_rng(0).permutation(verts)
+        scattered = kernel(h, shuffled)
+        np.testing.assert_allclose(
+            scattered[np.argsort(shuffled)], contiguous, atol=2e-5
+        )
+
+    def test_empty_vertex_array(self, small_products):
+        cache = JitKernelCache()
+        kernel = cache.specialize_batched(small_products, KernelSpec(4, "sum"))
+        h = synthetic_features(small_products, 4, seed=0)
+        out = kernel(h, np.empty(0, dtype=np.int64))
+        assert out.shape == (0, 4)
+
+    def test_checks_width(self, small_products):
+        cache = JitKernelCache()
+        kernel = cache.specialize_batched(small_products, KernelSpec(16, "gcn"))
+        wrong = np.ones((small_products.num_vertices, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            kernel(wrong, np.array([0]))
+
+    def test_cached_separately_from_loop(self, small_products):
+        cache = JitKernelCache()
+        spec = KernelSpec(16, "gcn")
+        cache.specialize(small_products, spec)
+        cache.specialize_batched(small_products, spec)
+        cache.specialize(small_products, spec)
+        cache.specialize_batched(small_products, spec)
+        assert cache.compilations == 2
+        assert len(cache) == 2
+
+
+class TestWeakrefKeying:
+    """Regression: the cache used to key off ``id(graph)``, so a look-alike
+    graph allocated at a dead graph's address silently inherited its
+    ψ-factor closures (wrong normalization, no recompilation)."""
+
+    def test_entries_evicted_when_graph_dies(self):
+        cache = JitKernelCache()
+        graph = uniform_graph(40, avg_degree=4.0, seed=0)
+        cache.specialize(graph, KernelSpec(8, "gcn"))
+        cache.specialize_batched(graph, KernelSpec(8, "gcn"))
+        assert len(cache) == 2
+        del graph
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_look_alike_graph_gets_fresh_kernel(self):
+        """Drop a graph, allocate same-shaped graphs hunting for address
+        reuse: every one must recompile and use its own factors."""
+        cache = JitKernelCache()
+        spec = KernelSpec(4, "gcn")
+        graph = uniform_graph(30, avg_degree=3.0, seed=0)
+        cache.specialize(graph, spec)
+        del graph
+        gc.collect()
+        for seed in range(1, 21):
+            look_alike = uniform_graph(30, avg_degree=3.0, seed=seed)
+            before = cache.compilations
+            kernel = cache.specialize(look_alike, spec)
+            assert cache.compilations == before + 1
+            h = synthetic_features(look_alike, 4, seed=seed)
+            reference = aggregate(look_alike, h, "gcn")
+            np.testing.assert_allclose(kernel(h, 0), reference[0], atol=1e-5)
+            del look_alike, kernel
+            gc.collect()
+        assert len(cache) == 0
+
+    def test_live_graphs_keyed_independently(self):
+        cache = JitKernelCache()
+        spec = KernelSpec(4, "sum")
+        graphs = [uniform_graph(25, avg_degree=3.0, seed=s) for s in range(4)]
+        kernels = [cache.specialize(g, spec) for g in graphs]
+        assert cache.compilations == 4
+        for g, k in zip(graphs, kernels):
+            h = synthetic_features(g, 4, seed=9)
+            np.testing.assert_allclose(k(h, 1), aggregate(g, h, "sum")[1], atol=1e-5)
+
+    def test_token_survives_pickle_roundtrip(self, small_products):
+        """Workers unpickle the graph; specialization must still work."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(small_products))
+        cache = JitKernelCache()
+        cache.specialize(small_products, KernelSpec(4, "gcn"))
+        cache.specialize(clone, KernelSpec(4, "gcn"))
+        assert cache.compilations == 2

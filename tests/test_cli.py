@@ -37,6 +37,22 @@ class TestParser:
         args = build_parser().parse_args(["train", "products"])
         assert args.trace is None and args.json is None
 
+    @pytest.mark.parametrize("command", [
+        ["train", "products"],
+        ["bench-parallel", "products"],
+        ["profile"],
+    ])
+    def test_engine_flag(self, command):
+        assert build_parser().parse_args(command).engine is None
+        args = build_parser().parse_args(command + ["--engine", "loop"])
+        assert args.engine == "loop"
+        args = build_parser().parse_args(command + ["--engine", "batched"])
+        assert args.engine == "batched"
+
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "products", "--engine", "turbo"])
+
 
 class TestLoggingConfig:
     @pytest.mark.parametrize("verbosity,level", [
@@ -81,6 +97,15 @@ class TestCommands:
         ])
         assert code == 0
         assert "sparsity" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["loop", "batched"])
+    def test_train_with_engine(self, engine, capsys):
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "1",
+            "--features", "8", "--hidden", "8", "--engine", engine,
+        ])
+        assert code == 0
+        assert f"{engine} engine" in capsys.readouterr().out
 
     def test_experiment_fig3(self, capsys):
         assert main(["experiment", "fig3", "--scale", "0.1"]) == 0
