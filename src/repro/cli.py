@@ -7,7 +7,11 @@ Subcommands:
 * ``characterize`` — the full Table-4 layout for one or more datasets.
 * ``train`` — full-batch training demo on a twin (``--workers N
   --backend {serial,thread,process}`` runs aggregation on real workers;
-  ``--trace FILE`` / ``--json FILE`` emit run telemetry).
+  ``--trace FILE`` / ``--json FILE`` emit run telemetry; ``--events
+  FILE`` streams per-epoch JSONL events, ``--health`` guards numerics,
+  ``--sample-proc`` samples process RSS/CPU).
+* ``dashboard`` — render an epoch-event log (plus optional run report
+  and bench history) into one self-contained offline HTML page.
 * ``bench-parallel`` — worker-count sweep of the chunk executor
   (also accepts ``--trace`` / ``--json``).
 * ``profile`` — trace one tiny synthetic training run end to end and
@@ -55,32 +59,60 @@ def _configure_logging(verbosity: int) -> None:
 
 
 @contextlib.contextmanager
-def _telemetry(args: argparse.Namespace, meta: dict):
-    """Enable run telemetry when ``--trace``/``--json``/``--perfetto`` was given.
+def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = None):
+    """Enable run telemetry when ``--trace``/``--json``/``--perfetto``/
+    ``--sample-proc`` was given.
 
     Yields the live tracer (or None when telemetry stays off) and, on
     exit, writes the JSONL trace, the run-report JSON, and/or the
-    Perfetto (Chrome trace-event) file.
+    Perfetto (Chrome trace-event) file.  ``--sample-proc`` additionally
+    runs the background resource sampler for the block and prints a
+    peak-RSS / mean-CPU summary.
+
+    ``extras`` is a mutable dict the caller may fill *inside* the block
+    (keys ``events`` and ``sparsity``); it is read on exit so the run
+    report can embed the epoch-event records and sparsity profile.
     """
     from . import obs
 
     trace_path = getattr(args, "trace", None)
     json_path = getattr(args, "json", None)
     perfetto_path = getattr(args, "perfetto", None)
-    if not trace_path and not json_path and not perfetto_path:
+    sample_proc = getattr(args, "sample_proc", False)
+    if not trace_path and not json_path and not perfetto_path and not sample_proc:
         yield None
         return
     tracer, metrics = obs.enable()
+    sampler = obs.ResourceSampler(metrics) if sample_proc else obs.NULL_SAMPLER
+    sampler.start()
     try:
         yield tracer
     finally:
+        sampler.stop()
         obs.disable()
+        extras = extras or {}
+        if sample_proc:
+            snap = metrics.snapshot()
+            rss = snap.get("proc.rss_bytes.samples", {})
+            cpu = snap.get("proc.cpu_percent.samples", {})
+            print(
+                f"sampled process {sampler.samples} times: "
+                f"peak RSS {rss.get('max', 0.0) / 2**20:.1f} MiB, "
+                f"mean CPU {cpu.get('mean', 0.0):.0f}%"
+            )
         if trace_path:
             count = tracer.export_jsonl(trace_path)
             print(f"wrote {count} spans to {trace_path}")
         if json_path:
             obs.write_json(
-                json_path, obs.build_run_report(tracer, metrics, meta=meta)
+                json_path,
+                obs.build_run_report(
+                    tracer,
+                    metrics,
+                    meta=meta,
+                    events=extras.get("events"),
+                    sparsity=extras.get("sparsity"),
+                ),
             )
             print(f"wrote run report to {json_path}")
         if perfetto_path:
@@ -169,6 +201,11 @@ def _make_aggregation_kernel(
 def _cmd_train(args: argparse.Namespace) -> int:
     from .graphs import load_dataset, synthetic_features
     from .nn import Adam, Trainer, build_model
+    from .obs.health import HealthError, HealthMonitor
+
+    # Trainer.fit(verbose=True) reports epochs through this logger at
+    # INFO; raise it so `repro train` shows the lines without -v.
+    logging.getLogger("repro.nn.training").setLevel(logging.INFO)
 
     graph = load_dataset(args.dataset, scale=args.scale)
     features = synthetic_features(graph, args.features, seed=args.seed)
@@ -185,10 +222,6 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"aggregation: basic kernel ({kernel.engine} engine), "
             f"{args.backend} x{args.workers}"
         )
-    trainer = Trainer(
-        model, Adam(model, lr=args.lr), profile_sparsity=True,
-        aggregation_kernel=kernel,
-    )
     meta = {
         "command": "train",
         "dataset": args.dataset,
@@ -199,13 +232,41 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "backend": args.backend,
         "engine": kernel.engine if kernel is not None else "spmm",
     }
-    with _telemetry(args, meta):
-        history = trainer.fit(
-            graph, features, labels, epochs=args.epochs, verbose=True
-        )
-    print("\nhidden-feature sparsity (Section 2.2):")
-    print(history.sparsity.summary())
-    return 0
+    event_log = None
+    if args.events:
+        from .obs.events import EventLog
+
+        event_log = EventLog(args.events, meta=meta)
+    health = HealthMonitor() if args.health else None
+    trainer = Trainer(
+        model, Adam(model, lr=args.lr), profile_sparsity=True,
+        aggregation_kernel=kernel, event_log=event_log, health=health,
+    )
+    extras: dict = {}
+    status = 0
+    try:
+        with _telemetry(args, meta, extras=extras):
+            try:
+                trainer.fit(
+                    graph, features, labels, epochs=args.epochs, verbose=True
+                )
+            finally:
+                extras["events"] = event_log
+                extras["sparsity"] = trainer.history.sparsity
+    except HealthError as error:
+        print(f"\ntraining aborted by health monitor:\n{error}", file=sys.stderr)
+        status = 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+            print(f"wrote {len(event_log)} epoch events to {args.events}")
+    history = trainer.history
+    if history.epochs:
+        print("\nhidden-feature sparsity (Section 2.2):")
+        print(history.sparsity.summary())
+    if health is not None:
+        print(health.summary())
+    return status
 
 
 def _cmd_bench_parallel(args: argparse.Namespace) -> int:
@@ -407,6 +468,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the epoch-event log (+ report, + history) into one HTML file."""
+    from .obs import validate_events_file
+    from .obs.dashboard import write_dashboard
+
+    if not args.events and not args.report and not args.history:
+        print(
+            "dashboard: need an events file, --report, or --history",
+            file=sys.stderr,
+        )
+        return 2
+    if args.events:
+        try:
+            validate_events_file(args.events)
+        except ValueError as error:
+            print(f"{args.events}: {error}", file=sys.stderr)
+            return 2
+    write_dashboard(
+        args.output,
+        events_path=args.events,
+        report_path=args.report,
+        history_path=args.history,
+        title=args.title,
+    )
+    print(f"wrote dashboard to {args.output}")
+    return 0
+
+
 _EXPERIMENTS = {
     "fig2": ("fig2_gpu_sampling", True),
     "fig3": ("fig3_topdown", True),
@@ -514,6 +603,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--perfetto", metavar="FILE",
         help="write a Perfetto/chrome://tracing trace JSON",
     )
+    p.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="stream one JSONL epoch event per epoch (loss, accuracies, "
+        "per-layer grad/weight norms, sparsity, compression savings)",
+    )
+    p.add_argument(
+        "--health", action="store_true",
+        help="guard numerics each epoch (NaN/Inf, loss divergence, "
+        "stall); fatal issues abort the run with a diagnostic",
+    )
+    p.add_argument(
+        "--sample-proc", action="store_true",
+        help="sample process RSS / CPU%% / threads in the background "
+        "and publish proc.* metrics",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -607,6 +711,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="median window size (default: %(default)s)",
     )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render an epoch-event log into a self-contained HTML page",
+    )
+    p.add_argument(
+        "events", nargs="?", default=None,
+        help="epoch-event JSONL from `train --events` (validated first)",
+    )
+    p.add_argument(
+        "-o", "--output", metavar="FILE", default="run_dashboard.html",
+        help="output HTML path (default: %(default)s)",
+    )
+    p.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="run-report JSON (adds span + per-technique sections)",
+    )
+    p.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="BENCH_history.jsonl (adds the wall-time trend chart)",
+    )
+    p.add_argument("--title", default=None, help="page title")
+    p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")

@@ -8,7 +8,7 @@ either with arbitrary widths.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,35 @@ class GNNModel:
         """Inference-mode logits (no dropout, caches discarded)."""
         logits, _ = self.forward(graph, features, training=False, kernel=kernel)
         return logits
+
+    # ------------------------------------------------------------------
+    # Norm capture for the training-run observability layer (obs.events /
+    # obs.health): a NaN/Inf anywhere in a tensor makes its L2 norm
+    # non-finite, so the norms double as a cheap corruption detector.
+    @staticmethod
+    def grad_norms(grads: Sequence["LayerGrads"]) -> Dict[str, Dict[str, float]]:
+        """Per-layer L2 norms of one backward pass's gradients.
+
+        Keys are layer indices as strings (the JSON event-log layout).
+        """
+        return {
+            str(idx): {
+                "weight": float(np.linalg.norm(grad.weight)),
+                "bias": float(np.linalg.norm(grad.bias)),
+                "h_in": float(np.linalg.norm(grad.h_in)),
+            }
+            for idx, grad in enumerate(grads)
+        }
+
+    def weight_norms(self) -> Dict[str, Dict[str, float]]:
+        """Per-layer L2 norms of the current parameters."""
+        return {
+            str(idx): {
+                "weight": float(np.linalg.norm(layer.weight)),
+                "bias": float(np.linalg.norm(layer.bias)),
+            }
+            for idx, layer in enumerate(self.layers)
+        }
 
     # ------------------------------------------------------------------
     def parameters(self):

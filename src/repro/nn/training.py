@@ -9,20 +9,29 @@ optimizer step.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..kernels.base import AggregationKernel, KernelStats
 from ..obs import get_tracer
-from ..tensors.sparsity import SparsityProfile
+from ..tensors.compression import traffic_saved
+from ..tensors.sparsity import SparsityProfile, sparsity as sparsity_of
 from . import functional as F
 from .model import GNNModel
 from .optim import Optimizer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import EventLog
+    from ..obs.health import HealthMonitor
+
 logger = logging.getLogger(__name__)
+
+#: Bytes per dense float32 feature element (compression-savings model).
+_BYTES_PER_FEATURE = 4
 
 
 @dataclass
@@ -51,7 +60,9 @@ class TrainingHistory:
 
     @property
     def final_accuracy(self) -> float:
-        return self.epochs[-1].train_accuracy if self.epochs else 0.0
+        # NaN, like final_loss: an empty history has no accuracy, and 0.0
+        # would read as "the model learned nothing" in reports.
+        return self.epochs[-1].train_accuracy if self.epochs else float("nan")
 
     def losses(self) -> List[float]:
         return [e.loss for e in self.epochs]
@@ -73,6 +84,17 @@ class Trainer:
             When given without a kernel, forward aggregation runs on a
             default :class:`~repro.kernels.BasicKernel` using it; when a
             kernel is given too, the kernel's engine is overridden.
+        event_log: optional :class:`~repro.obs.events.EventLog`; every
+            ``train_epoch`` emits one streaming epoch record (loss,
+            accuracies, per-layer grad/weight norms, per-layer sparsity,
+            realized vs predicted compression savings, wall time).
+        health: optional :class:`~repro.obs.health.HealthMonitor`; the
+            epoch's numerics are checked as they are produced and a
+            fail-fast monitor raises within one epoch of a NaN/Inf.
+
+    With both left at ``None`` (the default) ``train_epoch`` takes the
+    existing zero-cost path: no norms, no sparsity measurements, no
+    event construction.
     """
 
     def __init__(
@@ -82,10 +104,14 @@ class Trainer:
         profile_sparsity: bool = False,
         aggregation_kernel: Optional[AggregationKernel] = None,
         engine: Optional[str] = None,
+        event_log: Optional["EventLog"] = None,
+        health: Optional["HealthMonitor"] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.profile_sparsity = profile_sparsity
+        self.event_log = event_log
+        self.health = health
         if engine is not None:
             from ..kernels.base import resolve_engine
 
@@ -112,24 +138,37 @@ class Trainer:
         train_mask: Optional[np.ndarray] = None,
         val_mask: Optional[np.ndarray] = None,
     ) -> EpochResult:
-        """One forward + backward + step over the whole graph."""
+        """One forward + backward + step over the whole graph.
+
+        With an event log or health monitor attached, the epoch
+        additionally captures per-layer grad/weight norms, per-layer
+        input sparsity, and realized-vs-predicted compression traffic
+        savings; without them no extra work happens.
+        """
         tracer = get_tracer()
-        with tracer.span("epoch", epoch=len(self.history.epochs)) as span:
+        observing = self.event_log is not None or self.health is not None
+        epoch_index = len(self.history.epochs)
+        start_s = time.perf_counter() if observing else 0.0
+        with tracer.span("epoch", epoch=epoch_index) as span:
             logits, caches = self.model.forward(
                 graph, features, training=True, kernel=self.aggregation_kernel
             )
             for cache in caches:
                 if cache.agg_stats is not None:
                     self.history.aggregation_stats.merge(cache.agg_stats)
-            if self.profile_sparsity:
+            layer_sparsity: "dict[int, float]" = {}
+            if self.profile_sparsity or observing:
                 for layer_idx, cache in enumerate(caches):
-                    self.history.sparsity.record(layer_idx, cache.h_in)
+                    layer_sparsity[layer_idx] = sparsity_of(cache.h_in)
+                if self.profile_sparsity:
+                    for layer_idx, value in layer_sparsity.items():
+                        self.history.sparsity.add(layer_idx, value)
             loss, grad = F.cross_entropy(logits, labels, mask=train_mask)
             with tracer.span("backward"):
                 grads = self.model.backward(graph, grad, caches)
             self.optimizer.step(grads)
             result = EpochResult(
-                epoch=len(self.history.epochs),
+                epoch=epoch_index,
                 loss=loss,
                 train_accuracy=F.accuracy(logits, labels, mask=train_mask),
                 val_accuracy=(
@@ -140,6 +179,11 @@ class Trainer:
             )
             span.set_attr("loss", float(loss))
             span.set_attr("train_accuracy", result.train_accuracy)
+            if observing:
+                self._observe_epoch(
+                    graph, result, logits, grads, caches, layer_sparsity,
+                    time.perf_counter() - start_s,
+                )
         self.history.epochs.append(result)
         logger.debug(
             "epoch %d: loss %.4f train-acc %.3f",
@@ -148,6 +192,100 @@ class Trainer:
             result.train_accuracy,
         )
         return result
+
+    def _observe_epoch(
+        self,
+        graph: CSRGraph,
+        result: EpochResult,
+        logits: np.ndarray,
+        grads,
+        caches,
+        layer_sparsity: "dict[int, float]",
+        wall_time_s: float,
+    ) -> None:
+        """Build and publish this epoch's event/health telemetry.
+
+        Only called when an event log or health monitor is attached;
+        raises :class:`~repro.obs.health.HealthError` from a fail-fast
+        monitor *after* the (possibly NaN'd) event record is written, so
+        the log keeps the evidence of the epoch that failed.
+        """
+        from ..obs.events import EpochEvent
+        from ..obs.health import HealthError
+
+        grad_norms = GNNModel.grad_norms(grads)
+        weight_norms = self.model.weight_norms()
+        compression = self._compression_savings(graph, caches, layer_sparsity)
+        health_error: Optional[HealthError] = None
+        issues: List[str] = []
+        if self.health is not None:
+            try:
+                found = self.health.check_epoch(
+                    result.epoch,
+                    result.loss,
+                    logits=logits,
+                    grad_norms=grad_norms,
+                    weight_norms=weight_norms,
+                )
+            except HealthError as error:
+                health_error = error
+                found = error.issues
+            issues = [issue.kind for issue in found]
+        if self.event_log is not None:
+            self.event_log.emit(
+                EpochEvent(
+                    epoch=result.epoch,
+                    loss=float(result.loss),
+                    train_accuracy=float(result.train_accuracy),
+                    val_accuracy=(
+                        float(result.val_accuracy)
+                        if result.val_accuracy is not None
+                        else None
+                    ),
+                    wall_time_s=wall_time_s,
+                    grad_norms=grad_norms,
+                    weight_norms=weight_norms,
+                    sparsity={
+                        str(layer): value
+                        for layer, value in sorted(layer_sparsity.items())
+                    },
+                    compression=compression,
+                    health_issues=issues,
+                )
+            )
+        if health_error is not None:
+            raise health_error
+
+    @staticmethod
+    def _compression_savings(
+        graph: CSRGraph, caches, layer_sparsity: "dict[int, float]"
+    ) -> "dict[str, float]":
+        """Realized vs cost-model-predicted DRAM savings this epoch.
+
+        *Realized* sums the ``dram_bytes_saved`` the (compressed)
+        kernels actually counted; *predicted* applies the Section 4.3
+        traffic model — ``gathers x row_bytes x traffic_saved(s)`` — to
+        each layer's measured sparsity.  Both count per gather with no
+        cache model, so they are directly comparable; a run on an
+        uncompressed kernel has realized 0 and the predicted number is
+        what compression *would* have saved (the §2.2 motivation).
+        """
+        realized = 0.0
+        predicted = 0.0
+        default_gathers = graph.num_edges + graph.num_vertices
+        for layer_idx, cache in enumerate(caches):
+            stats = cache.agg_stats
+            gathers = stats.gathers if stats is not None else default_gathers
+            if stats is not None:
+                realized += stats.dram_bytes_saved
+            row_bytes = cache.h_in.shape[1] * _BYTES_PER_FEATURE
+            predicted += (
+                gathers * row_bytes * traffic_saved(layer_sparsity[layer_idx])
+            )
+        return {
+            "realized_dram_bytes_saved": realized,
+            "predicted_dram_bytes_saved": predicted,
+        }
 
     def fit(
         self,
@@ -164,14 +302,17 @@ class Trainer:
             result = self.train_epoch(
                 graph, features, labels, train_mask=train_mask, val_mask=val_mask
             )
-            if verbose:  # pragma: no cover - console output
+            if verbose:
+                # Through the logging layer, not print(): the CLI raises
+                # this module's logger to INFO so `repro train` still
+                # shows the lines, and library users keep control.
                 msg = (
                     f"epoch {result.epoch:>3}  loss {result.loss:.4f}  "
                     f"train-acc {result.train_accuracy:.3f}"
                 )
                 if result.val_accuracy is not None:
                     msg += f"  val-acc {result.val_accuracy:.3f}"
-                print(msg)
+                logger.info("%s", msg)
         return self.history
 
 

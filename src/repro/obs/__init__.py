@@ -13,6 +13,20 @@ comparable, machine-readable telemetry):
 * :mod:`repro.obs.report` — joins spans + metrics + environment
   metadata into one run-report JSON document.
 
+Layered on top, the training-run observability pieces:
+
+* :mod:`repro.obs.events` — streaming epoch-event JSONL log (loss,
+  accuracies, per-layer grad/weight norms, sparsity, compression
+  savings) with a schema validator;
+* :mod:`repro.obs.health` — numerics guards (NaN/Inf, loss divergence,
+  convergence stall) that fail fast with layer/epoch diagnostics and
+  publish ``health.*`` metrics;
+* :mod:`repro.obs.sampler` — background resource sampler feeding
+  ``proc.*`` gauges/histograms (RSS, CPU%, threads), with a
+  ``NULL_SAMPLER`` mirroring the other null singletons;
+* :mod:`repro.obs.dashboard` — renders events + run report + bench
+  history into one self-contained offline HTML page.
+
 Telemetry is **disabled by default and zero-cost when disabled**: the
 module singletons are ``NULL_TRACER`` / ``NULL_REGISTRY`` whose methods
 are no-ops, and instrumentation sits at region granularity (a kernel
@@ -41,11 +55,27 @@ from .attrib import (
     attribute_run,
     sim_traffic_from_metrics,
 )
+from .dashboard import build_dashboard, write_dashboard
+from .events import (
+    EVENTS_SCHEMA_VERSION,
+    EpochEvent,
+    EventLog,
+    read_events,
+    validate_epoch_event,
+    validate_events,
+    validate_events_file,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
     export_perfetto,
     write_chrome_trace,
+)
+from .health import (
+    FATAL_KINDS,
+    HealthError,
+    HealthIssue,
+    HealthMonitor,
 )
 from .history import (
     ComparisonReport,
@@ -75,6 +105,11 @@ from .report import (
     build_run_report,
     environment_info,
     write_json,
+)
+from .sampler import (
+    NULL_SAMPLER,
+    NullResourceSampler,
+    ResourceSampler,
 )
 from .trace import (
     NULL_TRACER,
@@ -153,17 +188,28 @@ __all__ = [
     "entry_from_run_report",
     "load_history",
     "Counter",
+    "EVENTS_SCHEMA_VERSION",
+    "EpochEvent",
+    "EventLog",
+    "FATAL_KINDS",
     "Gauge",
+    "HealthError",
+    "HealthIssue",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "NullResourceSampler",
     "NullTracer",
     "NULL_REGISTRY",
+    "NULL_SAMPLER",
     "NULL_TRACER",
+    "ResourceSampler",
     "REPORT_SCHEMA_VERSION",
     "Span",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "build_dashboard",
     "build_run_report",
     "disable",
     "enable",
@@ -171,10 +217,15 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "publish_counters",
+    "read_events",
     "read_trace",
     "render_span_tree",
     "set_metrics",
     "set_tracer",
     "span_tree",
+    "validate_epoch_event",
+    "validate_events",
+    "validate_events_file",
+    "write_dashboard",
     "write_json",
 ]

@@ -1,0 +1,241 @@
+"""Streaming epoch-event log: one JSONL record per training epoch.
+
+The run report (:mod:`repro.obs.report`) is a *post-mortem* — it exists
+only after the run finished.  The event log is the *live* counterpart:
+``Trainer.train_epoch`` emits one schema-versioned record per epoch, and
+the writer flushes each line immediately, so a run that NaNs or is
+killed at epoch 37 still leaves 37 readable records on disk.
+
+Each epoch record joins model quality with the architectural quantities
+the paper's optimizations trade on:
+
+* ``loss`` / ``train_accuracy`` / ``val_accuracy`` — the model-quality
+  curve;
+* ``wall_time_s`` — epoch wall time (forward + backward + step);
+* ``grad_norms`` / ``weight_norms`` — per-layer L2 norms, the numerics
+  trajectory the health guards (:mod:`repro.obs.health`) watch;
+* ``sparsity`` — per-layer hidden-feature input sparsity, the Section
+  2.2 quantity that determines compression's DRAM savings;
+* ``compression`` — the *realized* DRAM bytes the compressed kernels
+  actually avoided this epoch next to the *predicted* savings the
+  Section 4.3 traffic model assigns to the measured sparsity, so the
+  two planes stay auditable epoch by epoch.
+
+File format (one JSON object per line):
+
+* line 1 — header: ``{"kind": "events_header", "schema": 1,
+  "created_unix": ..., "run": {...caller meta...}}``;
+* every following line — ``{"kind": "epoch", "epoch": N, ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+#: Version of the epoch-event record layout.
+EVENTS_SCHEMA_VERSION = 1
+
+#: Fields every epoch record must carry (``validate_epoch_event``).
+REQUIRED_EPOCH_FIELDS = (
+    "epoch",
+    "loss",
+    "train_accuracy",
+    "wall_time_s",
+    "grad_norms",
+    "weight_norms",
+    "sparsity",
+    "compression",
+)
+
+#: Keys of the per-epoch compression sub-document.
+COMPRESSION_KEYS = ("realized_dram_bytes_saved", "predicted_dram_bytes_saved")
+
+
+@dataclass
+class EpochEvent:
+    """One epoch's worth of training telemetry (JSON-serializable)."""
+
+    epoch: int
+    loss: float
+    train_accuracy: float
+    wall_time_s: float
+    val_accuracy: Optional[float] = None
+    #: layer index (as str, JSON keys are strings) -> {"weight", "bias", "h_in"}
+    grad_norms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: layer index -> {"weight", "bias"}
+    weight_norms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: layer index -> input-feature zero fraction this epoch
+    sparsity: Dict[str, float] = field(default_factory=dict)
+    #: realized vs cost-model-predicted compression traffic savings
+    compression: Dict[str, float] = field(default_factory=dict)
+    #: health-guard findings this epoch (kind strings, empty when clean)
+    health_issues: List[str] = field(default_factory=list)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "kind": "epoch",
+            "schema": EVENTS_SCHEMA_VERSION,
+            "epoch": self.epoch,
+            "loss": self.loss,
+            "train_accuracy": self.train_accuracy,
+            "val_accuracy": self.val_accuracy,
+            "wall_time_s": self.wall_time_s,
+            "grad_norms": self.grad_norms,
+            "weight_norms": self.weight_norms,
+            "sparsity": self.sparsity,
+            "compression": self.compression,
+            "health_issues": list(self.health_issues),
+        }
+
+
+class EventLog:
+    """Streaming JSONL epoch-event writer (and in-memory record buffer).
+
+    The header is written on open; every :meth:`emit` writes and
+    *flushes* one line, so the log is valid after any prefix of the run.
+    Records are also kept in ``self.events`` so the run report can embed
+    them without re-reading the file.  Usable as a context manager.
+    """
+
+    def __init__(self, path: Optional[str], meta: Optional[Dict[str, Any]] = None):
+        self.path = path
+        self.meta = dict(meta or {})
+        self.events: List[Dict[str, Any]] = []
+        self._handle: Optional[IO[str]] = None
+        if path is not None:
+            self._handle = open(path, "w")
+            self._handle.write(json.dumps(self.header()) + "\n")
+            self._handle.flush()
+
+    def header(self) -> Dict[str, Any]:
+        return {
+            "kind": "events_header",
+            "schema": EVENTS_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "run": self.meta,
+        }
+
+    def emit(self, event: EpochEvent) -> Dict[str, Any]:
+        """Append one epoch record (returns the serialized dict)."""
+        record = event.to_record()
+        self.events.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, allow_nan=True) + "\n")
+            self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def read_events(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load an event log; returns (header, epoch records).
+
+    Python's JSON reader accepts the bare ``NaN``/``Infinity`` tokens a
+    NaN'd run writes, so a diverged log stays loadable.
+    """
+    with open(path) as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("kind") != "events_header":
+        raise ValueError(f"{path}: not an event log (missing events_header)")
+    return lines[0], [rec for rec in lines[1:] if rec.get("kind") == "epoch"]
+
+
+def _check_norm_map(record: Dict[str, Any], key: str, problems: List[str]) -> None:
+    value = record.get(key)
+    if not isinstance(value, dict):
+        problems.append(f"{key}: expected an object, got {type(value).__name__}")
+        return
+    for layer, entry in value.items():
+        if not isinstance(entry, dict) or not all(
+            isinstance(v, (int, float)) for v in entry.values()
+        ):
+            problems.append(f"{key}[{layer}]: expected an object of numbers")
+
+
+def validate_epoch_event(record: Dict[str, Any]) -> List[str]:
+    """Schema problems of one epoch record (empty list when valid).
+
+    NaN/Inf values are *valid* — a diverged run must still produce a
+    schema-conforming log (that is the point of the health guards).
+    """
+    problems: List[str] = []
+    if record.get("kind") != "epoch":
+        problems.append(f"kind: expected 'epoch', got {record.get('kind')!r}")
+    if record.get("schema") != EVENTS_SCHEMA_VERSION:
+        problems.append(
+            f"schema: expected {EVENTS_SCHEMA_VERSION}, got {record.get('schema')!r}"
+        )
+    for key in REQUIRED_EPOCH_FIELDS:
+        if key not in record:
+            problems.append(f"missing field {key!r}")
+    if problems:
+        return problems
+    if not isinstance(record["epoch"], int) or record["epoch"] < 0:
+        problems.append(f"epoch: expected a non-negative int, got {record['epoch']!r}")
+    for key in ("loss", "train_accuracy", "wall_time_s"):
+        if not isinstance(record[key], (int, float)):
+            problems.append(f"{key}: expected a number, got {record[key]!r}")
+    val = record.get("val_accuracy")
+    if val is not None and not isinstance(val, (int, float)):
+        problems.append(f"val_accuracy: expected a number or null, got {val!r}")
+    _check_norm_map(record, "grad_norms", problems)
+    _check_norm_map(record, "weight_norms", problems)
+    sparsity = record["sparsity"]
+    if not isinstance(sparsity, dict):
+        problems.append("sparsity: expected an object")
+    else:
+        for layer, value in sparsity.items():
+            if not isinstance(value, (int, float)) or (
+                not math.isnan(value) and not 0.0 <= value <= 1.0
+            ):
+                problems.append(f"sparsity[{layer}]: expected a fraction in [0, 1]")
+    compression = record["compression"]
+    if not isinstance(compression, dict):
+        problems.append("compression: expected an object")
+    else:
+        for key in COMPRESSION_KEYS:
+            if not isinstance(compression.get(key), (int, float)):
+                problems.append(f"compression.{key}: expected a number")
+    return problems
+
+
+def validate_events(
+    records: List[Dict[str, Any]], header: Optional[Dict[str, Any]] = None
+) -> None:
+    """Raise ``ValueError`` listing every schema problem in the log."""
+    problems: List[str] = []
+    if header is not None:
+        if header.get("kind") != "events_header":
+            problems.append("header: kind != 'events_header'")
+        if header.get("schema") != EVENTS_SCHEMA_VERSION:
+            problems.append(
+                f"header: schema {header.get('schema')!r} != {EVENTS_SCHEMA_VERSION}"
+            )
+    for idx, record in enumerate(records):
+        for problem in validate_epoch_event(record):
+            problems.append(f"record {idx}: {problem}")
+    if problems:
+        raise ValueError("invalid event log:\n  " + "\n  ".join(problems))
+
+
+def validate_events_file(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read and validate an event log; returns (header, records)."""
+    header, records = read_events(path)
+    validate_events(records, header)
+    return header, records

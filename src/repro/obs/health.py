@@ -1,0 +1,262 @@
+"""Numerics health guards for training runs.
+
+A full-batch GNN run that NaNs at epoch 3 silently burns the remaining
+epochs producing garbage — the loss curve only reveals it afterwards, if
+anyone looks.  The :class:`HealthMonitor` checks each epoch's numerics
+as they are produced:
+
+* **NaN/Inf detection** in the logits, every layer's gradients, and
+  every layer's weights — the diagnostic names the offending layer,
+  parameter, and epoch;
+* **loss divergence** — the loss blowing past a multiple of the best
+  loss seen so far (the classic too-high-learning-rate signature);
+* **convergence stall** — no relative improvement of the best loss over
+  a trailing window (a warning, not a failure: a stalled run is
+  wasteful, not wrong).
+
+Findings publish ``health.*`` metrics into the active registry and, for
+the fatal kinds, raise :class:`HealthError` so the run **fails fast**
+within one epoch of the corruption instead of finishing it.
+
+Like the rest of :mod:`repro.obs`, the monitor is opt-in: ``Trainer``
+takes ``health=None`` by default and pays nothing when it stays off.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Issue kinds that abort the run when ``fail_fast`` is set.
+FATAL_KINDS = ("non_finite", "loss_divergence")
+
+#: Default loss-blowup multiple over the best loss flagged as divergence.
+DEFAULT_DIVERGENCE_FACTOR = 4.0
+
+#: Default trailing window (epochs) for the convergence-stall detector.
+DEFAULT_STALL_WINDOW = 20
+
+#: Default minimum relative best-loss improvement expected per window.
+DEFAULT_STALL_TOLERANCE = 1e-3
+
+
+@dataclass
+class HealthIssue:
+    """One guard finding, located to layer/parameter/epoch."""
+
+    kind: str  # "non_finite" | "loss_divergence" | "convergence_stall"
+    epoch: int
+    message: str
+    layer: Optional[int] = None
+    param: Optional[str] = None  # "logits" | "weight" | "bias" | "h_in" | "loss"
+
+    @property
+    def fatal(self) -> bool:
+        return self.kind in FATAL_KINDS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "layer": self.layer,
+            "param": self.param,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = f"epoch {self.epoch}"
+        if self.layer is not None:
+            where += f", layer {self.layer}"
+        if self.param is not None:
+            where += f", {self.param}"
+        return f"[{self.kind}] {where}: {self.message}"
+
+
+class HealthError(RuntimeError):
+    """Raised by a fail-fast monitor on a fatal numerics issue."""
+
+    def __init__(self, issues: Sequence[HealthIssue]):
+        self.issues = list(issues)
+        super().__init__(
+            "training health check failed:\n  "
+            + "\n  ".join(str(issue) for issue in self.issues)
+        )
+
+
+def _non_finite_fraction(array: np.ndarray) -> float:
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(~np.isfinite(array)) / array.size)
+
+
+@dataclass
+class HealthMonitor:
+    """Per-epoch numerics guard (see the module docstring).
+
+    Args:
+        divergence_factor: loss above ``factor * best_loss`` is flagged
+            divergent.
+        stall_window: trailing epochs with no best-loss improvement
+            beyond ``stall_tolerance`` (relative) flagged as a stall.
+        stall_tolerance: relative improvement that resets the stall
+            clock.
+        fail_fast: raise :class:`HealthError` on fatal issues (NaN/Inf,
+            divergence); stalls never raise.
+    """
+
+    divergence_factor: float = DEFAULT_DIVERGENCE_FACTOR
+    stall_window: int = DEFAULT_STALL_WINDOW
+    stall_tolerance: float = DEFAULT_STALL_TOLERANCE
+    fail_fast: bool = True
+    issues: List[HealthIssue] = field(default_factory=list)
+    _best_loss: float = float("inf")
+    _best_epoch: int = -1
+    _stalled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must be > 1, got {self.divergence_factor}"
+            )
+        if self.stall_window < 1:
+            raise ValueError(f"stall_window must be >= 1, got {self.stall_window}")
+
+    # ------------------------------------------------------------------
+    def check_epoch(
+        self,
+        epoch: int,
+        loss: float,
+        logits: Optional[np.ndarray] = None,
+        grad_norms: Optional[Dict[str, Dict[str, float]]] = None,
+        weight_norms: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> List[HealthIssue]:
+        """Run every guard against one epoch's numerics.
+
+        ``grad_norms`` / ``weight_norms`` are the per-layer L2 norms the
+        trainer already computed for the event log — a NaN/Inf anywhere
+        in a tensor makes its norm NaN/Inf, so checking the norms checks
+        the tensors without a second full pass.
+
+        Returns this epoch's issues; raises :class:`HealthError` when a
+        fatal issue is found and ``fail_fast`` is set.
+        """
+        found: List[HealthIssue] = []
+        if not np.isfinite(loss):
+            found.append(
+                HealthIssue(
+                    kind="non_finite",
+                    epoch=epoch,
+                    param="loss",
+                    message=f"loss is {loss!r}",
+                )
+            )
+        if logits is not None and not np.isfinite(logits).all():
+            found.append(
+                HealthIssue(
+                    kind="non_finite",
+                    epoch=epoch,
+                    param="logits",
+                    message=(
+                        f"{_non_finite_fraction(logits):.1%} of logits non-finite"
+                    ),
+                )
+            )
+        for label, norms in (("grad", grad_norms), ("weight", weight_norms)):
+            for layer_key, entry in (norms or {}).items():
+                for param, value in entry.items():
+                    if not np.isfinite(value):
+                        found.append(
+                            HealthIssue(
+                                kind="non_finite",
+                                epoch=epoch,
+                                layer=int(layer_key),
+                                param=f"{label}.{param}",
+                                message=f"{label} norm of {param} is {value!r}",
+                            )
+                        )
+        found.extend(self._check_loss_trajectory(epoch, loss))
+        self._publish(epoch, found)
+        self.issues.extend(found)
+        fatal = [issue for issue in found if issue.fatal]
+        for issue in found:
+            logger.warning("health: %s", issue)
+        if fatal and self.fail_fast:
+            raise HealthError(fatal)
+        return found
+
+    def _check_loss_trajectory(self, epoch: int, loss: float) -> List[HealthIssue]:
+        found: List[HealthIssue] = []
+        if np.isfinite(loss):
+            improved = loss < self._best_loss * (1.0 - self.stall_tolerance)
+            if (
+                self._best_epoch >= 0
+                and loss > self.divergence_factor * max(self._best_loss, 1e-12)
+            ):
+                found.append(
+                    HealthIssue(
+                        kind="loss_divergence",
+                        epoch=epoch,
+                        param="loss",
+                        message=(
+                            f"loss {loss:.4g} exceeds {self.divergence_factor:g}x "
+                            f"best loss {self._best_loss:.4g} "
+                            f"(epoch {self._best_epoch})"
+                        ),
+                    )
+                )
+            if loss < self._best_loss:
+                if improved:
+                    self._best_epoch = epoch
+                    self._stalled = False
+                self._best_loss = min(self._best_loss, loss)
+            elif (
+                not self._stalled
+                and self._best_epoch >= 0
+                and epoch - self._best_epoch >= self.stall_window
+            ):
+                self._stalled = True
+                found.append(
+                    HealthIssue(
+                        kind="convergence_stall",
+                        epoch=epoch,
+                        param="loss",
+                        message=(
+                            f"best loss {self._best_loss:.4g} unimproved for "
+                            f"{epoch - self._best_epoch} epochs "
+                            f"(window {self.stall_window})"
+                        ),
+                    )
+                )
+        return found
+
+    def _publish(self, epoch: int, found: List[HealthIssue]) -> None:
+        # Late import: the package __init__ imports this module before
+        # get_metrics exists, so binding it at module level would cycle.
+        from . import get_metrics
+
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.inc("health.checks")
+        for issue in found:
+            metrics.inc(f"health.{issue.kind}")
+            metrics.set_gauge("health.last_issue_epoch", float(epoch))
+        if found:
+            metrics.inc("health.issues", len(found))
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not any(issue.fatal for issue in self.issues)
+
+    def summary(self) -> str:
+        if not self.issues:
+            return "health: ok (no issues)"
+        lines = [f"health: {len(self.issues)} issue(s)"]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)

@@ -111,6 +111,13 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.count == 0:
             return 0.0
+        # The extremes are tracked exactly; the bucket estimate would
+        # otherwise answer with a bucket bound (wrong for values <= 0,
+        # which share one sentinel underflow bucket).
+        if q == 0.0:
+            return self.min
+        if q == 100.0:
+            return self.max
         if len(self._samples) == self.count:
             # Exact: linear interpolation over the sorted raw samples.
             ordered = sorted(self._samples)
@@ -210,7 +217,8 @@ class MetricsRegistry:
             self._metrics.clear()
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:  # same discipline as snapshot(): never read bare
+            return len(self._metrics)
 
 
 class NullRegistry(MetricsRegistry):

@@ -66,8 +66,18 @@ def build_run_report(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    events: Optional[Any] = None,
+    sparsity: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Assemble the run-report document (plain dict, JSON-serializable)."""
+    """Assemble the run-report document (plain dict, JSON-serializable).
+
+    ``events`` embeds a training run's epoch records — either an
+    :class:`~repro.obs.events.EventLog` (its buffered records are taken)
+    or a plain list of record dicts.  ``sparsity`` embeds a
+    :class:`~repro.tensors.sparsity.SparsityProfile` (or its
+    ``to_dict()``), so a single report joins model quality, the §2.2
+    sparsity trajectory, and the span/metric telemetry.
+    """
     records = (
         [span.to_record() for span in sorted(tracer.spans(), key=lambda s: s.span_id)]
         if tracer is not None
@@ -84,6 +94,12 @@ def build_run_report(
     }
     if tracer is not None:
         report["trace_epoch_unix"] = tracer.epoch_unix
+    if events is not None:
+        report["epoch_events"] = list(getattr(events, "events", events))
+    if sparsity is not None:
+        report["sparsity"] = (
+            sparsity.to_dict() if hasattr(sparsity, "to_dict") else dict(sparsity)
+        )
     return report
 
 

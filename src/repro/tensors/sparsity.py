@@ -13,7 +13,7 @@ rates"), and track how sparsity evolves through a training run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -49,7 +49,13 @@ class SparsityProfile:
     per_layer: Dict[int, List[float]] = field(default_factory=dict)
 
     def record(self, layer: int, matrix: np.ndarray) -> None:
-        self.per_layer.setdefault(layer, []).append(sparsity(matrix))
+        self.add(layer, sparsity(matrix))
+
+    def add(self, layer: int, value: float) -> None:
+        """Append one already-computed sparsity observation."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"sparsity must be in [0, 1], got {value}")
+        self.per_layer.setdefault(layer, []).append(value)
 
     def mean(self, layer: int) -> float:
         values = self.per_layer.get(layer, [])
@@ -61,6 +67,30 @@ class SparsityProfile:
 
     def layers(self) -> List[int]:
         return sorted(self.per_layer)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable export (run reports, dashboards).
+
+        Layer keys become strings (JSON object keys); the full per-epoch
+        trajectory is kept alongside the mean/last summaries.
+        """
+        return {
+            "per_layer": {
+                str(layer): [float(v) for v in values]
+                for layer, values in sorted(self.per_layer.items())
+            },
+            "mean": {str(layer): self.mean(layer) for layer in self.layers()},
+            "last": {str(layer): self.last(layer) for layer in self.layers()},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "SparsityProfile":
+        """Inverse of :meth:`to_dict` (summaries are recomputed)."""
+        per_layer = {
+            int(layer): [float(v) for v in values]
+            for layer, values in (doc.get("per_layer") or {}).items()
+        }
+        return cls(per_layer=per_layer)
 
     def summary(self) -> str:
         lines = ["layer  mean-sparsity  last-epoch"]

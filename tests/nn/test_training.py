@@ -1,10 +1,16 @@
 """Unit tests for the full-batch trainer."""
 
+import logging
+import math
+
 import numpy as np
 import pytest
 
 from repro.graphs import planted_partition_graph, synthetic_features
 from repro.nn import Adam, SGD, Trainer, build_model, inference, train_val_split
+from repro.nn.training import TrainingHistory
+from repro.obs.events import EventLog, validate_events
+from repro.obs.health import HealthError, HealthMonitor
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +65,142 @@ class TestTrainer:
         trainer = Trainer(model, SGD(model, lr=0.1))
         trainer.fit(graph, features, labels, epochs=3)
         assert len(trainer.history.losses()) == 3
+
+    def test_empty_history_final_values_are_nan(self):
+        history = TrainingHistory()
+        assert math.isnan(history.final_loss)
+        assert math.isnan(history.final_accuracy)
+
+    def test_verbose_fit_logs_not_prints(self, community_task, caplog, capsys):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=5)
+        trainer = Trainer(model, SGD(model, lr=0.1))
+        with caplog.at_level(logging.INFO, logger="repro.nn.training"):
+            trainer.fit(graph, features, labels, epochs=2, verbose=True)
+        lines = [r.message for r in caplog.records if "epoch" in r.message]
+        assert len(lines) == 2
+        assert "loss" in lines[0] and "train-acc" in lines[0]
+        assert capsys.readouterr().out == ""  # nothing on stdout
+
+    def test_verbose_fit_logs_val_accuracy(self, community_task, caplog):
+        graph, features, labels = community_task
+        train_mask, val_mask = train_val_split(graph.num_vertices, 0.5, seed=0)
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=6)
+        trainer = Trainer(model, SGD(model, lr=0.1))
+        with caplog.at_level(logging.INFO, logger="repro.nn.training"):
+            trainer.fit(
+                graph, features, labels, epochs=1,
+                train_mask=train_mask, val_mask=val_mask, verbose=True,
+            )
+        assert any("val-acc" in r.message for r in caplog.records)
+
+
+class TestTrainerObservability:
+    def test_epoch_events_emitted_and_valid(self, community_task, tmp_path):
+        graph, features, labels = community_task
+        train_mask, val_mask = train_val_split(graph.num_vertices, 0.5, seed=0)
+        model = build_model("gcn", 8, 16, 3, num_layers=2, dropout=0.5, seed=0)
+        log = EventLog(str(tmp_path / "run.jsonl"), meta={"test": True})
+        trainer = Trainer(model, Adam(model, lr=0.02), event_log=log)
+        trainer.fit(
+            graph, features, labels, epochs=3,
+            train_mask=train_mask, val_mask=val_mask,
+        )
+        log.close()
+        assert len(log) == 3
+        validate_events(log.events)
+        event = log.events[-1]
+        assert event["epoch"] == 2
+        assert event["val_accuracy"] is not None
+        # Per-layer signals cover both layers.
+        assert set(event["grad_norms"]) == {"0", "1"}
+        assert set(event["weight_norms"]) == {"0", "1"}
+        assert set(event["sparsity"]) == {"0", "1"}
+        # Layer 1's input went through ReLU + dropout: clearly sparse.
+        assert event["sparsity"]["1"] > 0.3
+        assert event["grad_norms"]["0"]["weight"] > 0.0
+        # SpMM-oracle run: nothing realized, but the model predicts what
+        # compression would have saved on the measured sparsity.
+        assert event["compression"]["realized_dram_bytes_saved"] == 0.0
+        assert event["compression"]["predicted_dram_bytes_saved"] > 0.0
+        assert event["health_issues"] == []
+        assert event["wall_time_s"] > 0.0
+
+    def test_event_log_without_profile_sparsity(self, community_task, tmp_path):
+        # Sparsity appears in events even when the history profile is off.
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=1)
+        log = EventLog(str(tmp_path / "run.jsonl"))
+        trainer = Trainer(
+            model, SGD(model, lr=0.1), profile_sparsity=False, event_log=log
+        )
+        trainer.train_epoch(graph, features, labels)
+        log.close()
+        assert set(log.events[0]["sparsity"]) == {"0", "1"}
+        assert trainer.history.sparsity.layers() == []  # profile stayed off
+
+    def test_compression_realized_with_compressed_kernel(
+        self, community_task, tmp_path
+    ):
+        from repro.kernels import CompressedKernel
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 16, 3, num_layers=2, dropout=0.5, seed=2)
+        log = EventLog(None)
+        trainer = Trainer(
+            model, Adam(model, lr=0.02),
+            aggregation_kernel=CompressedKernel(), event_log=log,
+        )
+        trainer.fit(graph, features, labels, epochs=2)
+        compression = log.events[-1]["compression"]
+        # Layer-1 inputs are sparse, so the compressed kernel skips real
+        # zero rows and the prediction tracks the same quantity.
+        assert compression["realized_dram_bytes_saved"] > 0.0
+        assert compression["predicted_dram_bytes_saved"] > 0.0
+
+    def test_injected_nan_detected_within_one_epoch(self, community_task):
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=3)
+        trainer = Trainer(model, SGD(model, lr=0.1), health=HealthMonitor())
+        trainer.train_epoch(graph, features, labels)
+        model.layers[1].weight[0, 0] = np.nan  # corrupt a weight
+        with pytest.raises(HealthError) as excinfo:
+            trainer.train_epoch(graph, features, labels)
+        issues = excinfo.value.issues
+        assert any(issue.layer == 1 for issue in issues)
+        assert all(issue.epoch == 1 for issue in issues)
+
+    def test_failing_epoch_still_logged(self, community_task, tmp_path):
+        # The event log keeps the evidence of the epoch that failed.
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=3)
+        log = EventLog(str(tmp_path / "run.jsonl"))
+        trainer = Trainer(
+            model, SGD(model, lr=0.1), event_log=log, health=HealthMonitor()
+        )
+        model.layers[0].weight[:] = np.nan
+        with pytest.raises(HealthError):
+            trainer.train_epoch(graph, features, labels)
+        log.close()
+        assert len(log) == 1
+        assert "non_finite" in log.events[0]["health_issues"]
+
+    def test_default_trainer_pays_nothing(self, community_task, monkeypatch):
+        # With event_log and health left off, the observation hook and
+        # the norm capture must never run.
+        from repro.nn.model import GNNModel
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=4)
+        trainer = Trainer(model, SGD(model, lr=0.1))
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not fire
+            raise AssertionError("observability ran on the default path")
+
+        monkeypatch.setattr(trainer, "_observe_epoch", boom)
+        monkeypatch.setattr(GNNModel, "grad_norms", staticmethod(boom))
+        monkeypatch.setattr(GNNModel, "weight_norms", boom)
+        trainer.train_epoch(graph, features, labels)
 
 
 class TestInference:

@@ -1,0 +1,193 @@
+"""Unit tests for the self-contained HTML run dashboard."""
+
+import json
+
+import pytest
+
+from repro.obs.dashboard import (
+    Series,
+    _fmt,
+    _fmt_bytes,
+    _fmt_pct,
+    _nice_ticks,
+    bar_chart,
+    build_dashboard,
+    line_chart,
+    write_dashboard,
+)
+from repro.obs.events import EpochEvent, EventLog
+
+
+def make_event(epoch=0, **overrides):
+    kwargs = dict(
+        epoch=epoch,
+        loss=2.0 - 0.2 * epoch,
+        train_accuracy=0.2 + 0.1 * epoch,
+        wall_time_s=0.01,
+        val_accuracy=0.15 + 0.1 * epoch,
+        grad_norms={"0": {"weight": 0.1, "bias": 0.01, "h_in": 0.2},
+                    "1": {"weight": 0.2, "bias": 0.02, "h_in": 0.1}},
+        weight_norms={"0": {"weight": 1.0, "bias": 0.1}},
+        sparsity={"0": 0.0, "1": 0.5 + 0.05 * epoch},
+        compression={
+            "realized_dram_bytes_saved": 100.0 * epoch,
+            "predicted_dram_bytes_saved": 1024.0 + 10.0 * epoch,
+        },
+    )
+    kwargs.update(overrides)
+    return EpochEvent(**kwargs)
+
+
+@pytest.fixture
+def events():
+    return [make_event(epoch).to_record() for epoch in range(4)]
+
+
+class TestCharts:
+    def test_line_chart_basics(self):
+        svg = line_chart(
+            "Training loss", [Series("loss", [0, 1, 2], [2.0, 1.5, 1.2])]
+        )
+        assert "<svg" in svg and "polyline" in svg
+        assert "Training loss" in svg
+        assert "<details" in svg  # data-table fallback
+        # One series: the title names it, no legend box.
+        assert 'class="legend"' not in svg
+
+    def test_line_chart_legend_for_two_series(self):
+        svg = line_chart(
+            "Accuracy",
+            [Series("train", [0, 1], [0.2, 0.4]), Series("val", [0, 1], [0.1, 0.3])],
+        )
+        assert 'class="legend"' in svg
+        assert "train" in svg and "val" in svg
+
+    def test_line_chart_skips_non_finite_points(self):
+        svg = line_chart(
+            "loss", [Series("loss", [0, 1, 2], [1.0, float("nan"), 0.5])]
+        )
+        assert "NaN" not in svg.split("<details")[0]  # no NaN coordinates
+
+    def test_line_chart_all_nan_series(self):
+        svg = line_chart("loss", [Series("loss", [0, 1], [float("nan")] * 2)])
+        assert "<svg" in svg  # degrades, never crashes
+
+    def test_bar_chart_basics(self):
+        svg = bar_chart("Bytes by technique", [("basic", 0.0), ("compression", 2048.0)])
+        assert "<svg" in svg
+        assert "compression" in svg
+        assert "2.05 KB" in svg
+
+    def test_bar_chart_empty(self):
+        assert bar_chart("empty", []) == ""
+
+
+class TestFormatters:
+    def test_fmt_compact(self):
+        assert _fmt(1234) == "1.23K"
+        assert _fmt(2.5e6) == "2.50M"
+        assert _fmt(float("nan")) == "NaN"
+
+    def test_fmt_bytes(self):
+        assert _fmt_bytes(512) == "512 B"
+        assert _fmt_bytes(2048) == "2.05 KB"
+
+    def test_fmt_pct(self):
+        assert _fmt_pct(0.62) == "62%"
+
+    def test_nice_ticks_inside_domain(self):
+        ticks = _nice_ticks(0.0, 0.93)
+        assert ticks == sorted(ticks)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 0.93
+        assert len(ticks) >= 2
+
+    def test_nice_ticks_degenerate_domain(self):
+        assert len(_nice_ticks(1.0, 1.0)) >= 2
+
+
+class TestBuildDashboard:
+    def test_self_contained(self, events):
+        html = build_dashboard(events=events)
+        assert "<script" not in html.lower()
+        assert "https://" not in html
+        assert 'rel="stylesheet"' not in html  # CSS is inline
+
+    def test_core_charts_present(self, events):
+        html = build_dashboard(events=events)
+        assert "Training loss" in html
+        assert "Accuracy" in html
+        assert "sparsity" in html.lower()
+        assert "gradient" in html.lower() or "grad" in html.lower()
+        assert "realized vs predicted" in html
+
+    def test_dark_mode_and_palette(self, events):
+        html = build_dashboard(events=events)
+        assert "prefers-color-scheme: dark" in html
+        assert "#2a78d6" in html  # series-1, light
+        assert "#3987e5" in html  # series-1, dark
+
+    def test_health_findings_section(self):
+        bad = make_event(2, health_issues=["non_finite"]).to_record()
+        html = build_dashboard(events=[make_event(0).to_record(), bad])
+        assert "Health findings" in html
+        assert "epoch 2: non_finite" in html
+
+    def test_no_health_section_when_clean(self, events):
+        assert "Health findings" not in build_dashboard(events=events)
+
+    def test_report_only_dashboard(self):
+        report = {
+            "spans": [
+                {"name": "epoch", "duration_s": 0.5},
+                {"name": "epoch", "duration_s": 0.4},
+            ],
+            "metrics": {},
+            "environment": {"git_sha": "abc1234"},
+        }
+        html = build_dashboard(report=report, title="Spans only")
+        assert "Span summary" in html
+        assert "abc1234"[:7] in html
+
+    def test_history_trend_chart(self):
+        history = [
+            {"label": "bench", "metrics": {"elapsed_s": 10.0}},
+            {"label": "bench", "metrics": {"elapsed_s": 12.0}},
+        ]
+        html = build_dashboard(history=history, title="Bench trend")
+        assert "elapsed" in html.lower() or "wall" in html.lower()
+
+    def test_empty_inputs_still_render(self):
+        html = build_dashboard()
+        assert "<html" in html
+
+
+class TestWriteDashboard:
+    def test_end_to_end(self, tmp_path, events):
+        events_path = str(tmp_path / "run.jsonl")
+        with EventLog(events_path, meta={"dataset": "products"}) as log:
+            for epoch in range(3):
+                log.emit(make_event(epoch))
+        report_path = str(tmp_path / "run.json")
+        with open(report_path, "w") as handle:
+            json.dump({"spans": [], "metrics": {}, "environment": {}}, handle)
+        out = str(tmp_path / "run.html")
+        write_dashboard(out, events_path=events_path, report_path=report_path)
+        html = open(out).read()
+        assert "<script" not in html.lower()
+        assert "https://" not in html
+        assert "Training loss" in html
+        assert "products" in html  # run meta lands in the subtitle
+
+    def test_history_only(self, tmp_path):
+        history_path = tmp_path / "BENCH_history.jsonl"
+        rows = [
+            {"schema": 1, "label": "bench", "timestamp": float(i),
+             "metrics": {"elapsed_s": 10.0 + i}, "meta": {}}
+            for i in range(3)
+        ]
+        history_path.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\n"
+        )
+        out = str(tmp_path / "trend.html")
+        write_dashboard(out, history_path=str(history_path))
+        assert "<svg" in open(out).read()

@@ -1,0 +1,132 @@
+"""Unit tests for the streaming epoch-event log."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.events import (
+    EVENTS_SCHEMA_VERSION,
+    EpochEvent,
+    EventLog,
+    read_events,
+    validate_epoch_event,
+    validate_events,
+    validate_events_file,
+)
+
+
+def make_event(epoch=0, **overrides):
+    kwargs = dict(
+        epoch=epoch,
+        loss=1.5,
+        train_accuracy=0.4,
+        wall_time_s=0.01,
+        val_accuracy=0.35,
+        grad_norms={"0": {"weight": 0.1, "bias": 0.01, "h_in": 0.2}},
+        weight_norms={"0": {"weight": 1.0, "bias": 0.1}},
+        sparsity={"0": 0.0, "1": 0.62},
+        compression={
+            "realized_dram_bytes_saved": 0.0,
+            "predicted_dram_bytes_saved": 1024.0,
+        },
+    )
+    kwargs.update(overrides)
+    return EpochEvent(**kwargs)
+
+
+class TestEventLog:
+    def test_header_then_epochs(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path, meta={"dataset": "products"}) as log:
+            log.emit(make_event(0))
+            log.emit(make_event(1))
+        header, records = read_events(path)
+        assert header["kind"] == "events_header"
+        assert header["schema"] == EVENTS_SCHEMA_VERSION
+        assert header["run"]["dataset"] == "products"
+        assert [r["epoch"] for r in records] == [0, 1]
+
+    def test_each_emit_flushed(self, tmp_path):
+        # The log must be readable mid-run: a killed run keeps its prefix.
+        path = str(tmp_path / "run.jsonl")
+        log = EventLog(path)
+        log.emit(make_event(0))
+        header, records = read_events(path)  # log still open
+        assert len(records) == 1
+        log.close()
+
+    def test_in_memory_buffer_and_len(self, tmp_path):
+        log = EventLog(str(tmp_path / "run.jsonl"))
+        assert len(log) == 0
+        log.emit(make_event(0))
+        assert len(log) == 1
+        assert log.events[0]["kind"] == "epoch"
+        log.close()
+
+    def test_pathless_log_buffers_only(self):
+        log = EventLog(None)
+        log.emit(make_event(0))
+        assert len(log) == 1
+        log.close()
+
+    def test_nan_survives_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path) as log:
+            log.emit(make_event(0, loss=float("nan")))
+        _, records = read_events(path)
+        assert math.isnan(records[0]["loss"])
+
+    def test_not_an_event_log(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text(json.dumps({"kind": "trace_header"}) + "\n")
+        with pytest.raises(ValueError, match="events_header"):
+            read_events(str(path))
+
+
+class TestValidation:
+    def test_valid_record_passes(self):
+        assert validate_epoch_event(make_event().to_record()) == []
+
+    def test_nan_values_are_valid(self):
+        record = make_event(
+            loss=float("nan"), sparsity={"0": float("nan")}
+        ).to_record()
+        assert validate_epoch_event(record) == []
+
+    def test_missing_field(self):
+        record = make_event().to_record()
+        del record["sparsity"]
+        assert any("sparsity" in p for p in validate_epoch_event(record))
+
+    def test_bad_epoch_and_sparsity_range(self):
+        record = make_event().to_record()
+        record["epoch"] = -1
+        record["sparsity"] = {"0": 1.5}
+        problems = validate_epoch_event(record)
+        assert any("epoch" in p for p in problems)
+        assert any("sparsity[0]" in p for p in problems)
+
+    def test_missing_compression_key(self):
+        record = make_event(compression={"realized_dram_bytes_saved": 1.0}).to_record()
+        assert any("predicted_dram_bytes_saved" in p
+                   for p in validate_epoch_event(record))
+
+    def test_validate_events_collects_all_problems(self):
+        good = make_event(0).to_record()
+        bad = make_event(1).to_record()
+        del bad["loss"]
+        with pytest.raises(ValueError, match="record 1"):
+            validate_events([good, bad])
+
+    def test_validate_events_checks_header(self):
+        with pytest.raises(ValueError, match="header"):
+            validate_events([], header={"kind": "events_header", "schema": 99})
+
+    def test_validate_events_file(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path, meta={"k": 1}) as log:
+            log.emit(make_event(0))
+        header, records = validate_events_file(path)
+        assert header["run"] == {"k": 1}
+        assert len(records) == 1

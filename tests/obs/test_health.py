@@ -1,0 +1,151 @@
+"""Unit tests for the training numerics health guards."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.health import HealthError, HealthIssue, HealthMonitor
+
+
+class TestNonFinite:
+    def test_nan_loss_fails_fast(self):
+        monitor = HealthMonitor()
+        with pytest.raises(HealthError) as excinfo:
+            monitor.check_epoch(3, float("nan"))
+        issue = excinfo.value.issues[0]
+        assert issue.kind == "non_finite"
+        assert issue.epoch == 3
+        assert issue.param == "loss"
+
+    def test_nan_weight_norm_names_layer_and_epoch(self):
+        monitor = HealthMonitor()
+        with pytest.raises(HealthError) as excinfo:
+            monitor.check_epoch(
+                2, 0.5,
+                weight_norms={"1": {"weight": float("nan"), "bias": 1.0}},
+            )
+        issue = excinfo.value.issues[0]
+        assert issue.layer == 1
+        assert issue.epoch == 2
+        assert issue.param == "weight.weight"
+        assert "layer 1" in str(issue)
+        assert "epoch 2" in str(issue)
+
+    def test_inf_grad_norm_detected(self):
+        monitor = HealthMonitor(fail_fast=False)
+        found = monitor.check_epoch(
+            0, 0.5, grad_norms={"0": {"weight": float("inf")}}
+        )
+        assert [i.kind for i in found] == ["non_finite"]
+        assert found[0].param == "grad.weight"
+
+    def test_non_finite_logits_detected(self):
+        monitor = HealthMonitor(fail_fast=False)
+        logits = np.zeros((4, 3), dtype=np.float32)
+        logits[1, 2] = np.nan
+        found = monitor.check_epoch(0, 0.5, logits=logits)
+        assert found[0].param == "logits"
+        assert "8.3%" in found[0].message
+
+    def test_clean_epoch_no_issues(self):
+        monitor = HealthMonitor()
+        found = monitor.check_epoch(
+            0, 0.9,
+            logits=np.zeros((4, 3), dtype=np.float32),
+            grad_norms={"0": {"weight": 0.1}},
+            weight_norms={"0": {"weight": 1.0}},
+        )
+        assert found == []
+        assert monitor.ok
+
+
+class TestLossTrajectory:
+    def test_divergence_raises(self):
+        monitor = HealthMonitor(divergence_factor=4.0)
+        monitor.check_epoch(0, 1.0)
+        with pytest.raises(HealthError) as excinfo:
+            monitor.check_epoch(1, 5.0)
+        assert excinfo.value.issues[0].kind == "loss_divergence"
+
+    def test_first_epoch_never_divergent(self):
+        monitor = HealthMonitor()
+        assert monitor.check_epoch(0, 1e6) == []
+
+    def test_stall_is_warning_not_error(self):
+        monitor = HealthMonitor(stall_window=3)
+        monitor.check_epoch(0, 1.0)
+        found = []
+        for epoch in range(1, 6):
+            found = monitor.check_epoch(epoch, 1.0)  # never improves
+        kinds = [issue.kind for issue in monitor.issues]
+        assert "convergence_stall" in kinds
+        assert monitor.ok  # stall is not fatal
+
+    def test_stall_reported_once(self):
+        monitor = HealthMonitor(stall_window=2)
+        monitor.check_epoch(0, 1.0)
+        for epoch in range(1, 8):
+            monitor.check_epoch(epoch, 1.0)
+        stalls = [i for i in monitor.issues if i.kind == "convergence_stall"]
+        assert len(stalls) == 1
+
+    def test_improvement_resets_stall_clock(self):
+        monitor = HealthMonitor(stall_window=3)
+        loss = 1.0
+        for epoch in range(10):
+            loss *= 0.9  # steady improvement
+            monitor.check_epoch(epoch, loss)
+        assert monitor.issues == []
+
+    def test_fail_fast_off_records_and_continues(self):
+        monitor = HealthMonitor(fail_fast=False)
+        found = monitor.check_epoch(0, float("nan"))
+        assert found[0].fatal
+        assert not monitor.ok
+        assert "non_finite" in monitor.summary()
+
+
+class TestValidation:
+    def test_bad_divergence_factor(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(divergence_factor=1.0)
+
+    def test_bad_stall_window(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(stall_window=0)
+
+
+class TestMetricsPublication:
+    def test_health_metrics_published_when_enabled(self):
+        _, metrics = obs.enable()
+        try:
+            monitor = HealthMonitor(fail_fast=False)
+            monitor.check_epoch(0, 1.0)
+            monitor.check_epoch(4, float("nan"))
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snap["health.checks"]["value"] == 2.0
+        assert snap["health.non_finite"]["value"] == 1.0
+        assert snap["health.issues"]["value"] == 1.0
+        assert snap["health.last_issue_epoch"]["value"] == 4.0
+
+    def test_disabled_registry_untouched(self):
+        monitor = HealthMonitor(fail_fast=False)
+        monitor.check_epoch(0, float("nan"))  # must not raise or publish
+        assert len(obs.get_metrics()._metrics) == 0
+
+
+class TestIssueDocument:
+    def test_to_dict_round_trip(self):
+        issue = HealthIssue(
+            kind="non_finite", epoch=1, layer=0, param="weight.bias", message="x"
+        )
+        doc = issue.to_dict()
+        assert doc == {
+            "kind": "non_finite",
+            "epoch": 1,
+            "layer": 0,
+            "param": "weight.bias",
+            "message": "x",
+        }

@@ -89,6 +89,8 @@ class TestMetricTypes:
     def test_histogram_rejects_bad_percentile(self):
         with pytest.raises(ValueError):
             Histogram().percentile(101)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-0.1)
 
     def test_histogram_zero_and_negative_values(self):
         h = Histogram()
@@ -96,6 +98,40 @@ class TestMetricTypes:
             h.observe(value)
         assert h.percentile(0) == -1.0
         assert h.percentile(100) == 2.0
+
+    def test_bucket_estimate_extreme_percentiles(self):
+        # Past the sample cap, q=0 and q=100 must stay clamped to the
+        # exact observed min/max even though the buckets only bound them.
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = Histogram()
+        for i in range(HISTOGRAM_SAMPLE_CAP + 100):
+            h.observe(3.0 + (i % 7))  # values in [3, 9]
+        assert h.percentile(0) == h.min == 3.0
+        assert h.percentile(100) == h.max == 9.0
+
+    def test_bucket_estimate_all_equal_values(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = Histogram()
+        for _ in range(HISTOGRAM_SAMPLE_CAP * 2):
+            h.observe(5.0)
+        for q in (0, 25, 50, 75, 100):
+            assert h.percentile(q) == pytest.approx(5.0)
+
+    def test_bucket_estimate_nonpositive_values(self):
+        # Zero and negative observations share the sentinel underflow
+        # bucket; the estimate must stay within [min, max], never NaN.
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = Histogram()
+        for i in range(HISTOGRAM_SAMPLE_CAP + 50):
+            h.observe(-2.0 if i % 2 else 0.0)
+        for q in (0, 50, 100):
+            value = h.percentile(q)
+            assert h.min <= value <= h.max
+        assert h.percentile(0) == -2.0
+        assert h.percentile(100) == 0.0
 
 
 class TestRegistry:
@@ -130,6 +166,34 @@ class TestRegistry:
         reg.inc("a")
         reg.reset()
         assert len(reg) == 0
+
+    def test_len_consistent_under_concurrent_writers(self):
+        # __len__ takes the registry lock like snapshot(); hammer it from
+        # reader threads while writers register new metrics.
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    assert len(reg) >= 0
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for i in range(2000):
+            reg.inc(f"m.{i}")
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(reg) == 2000
 
 
 class TestNullRegistry:

@@ -1,0 +1,79 @@
+"""Unit tests for the background process-resource sampler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import NULL_SAMPLER, NullResourceSampler, ResourceSampler
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSampleOnce:
+    def test_publishes_proc_metrics(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry)
+        sample = sampler.sample_once()
+        assert sample["rss_bytes"] > 0  # a live Python process has RSS
+        assert sample["num_threads"] >= 1
+        snap = registry.snapshot()
+        assert snap["proc.rss_bytes"]["value"] == sample["rss_bytes"]
+        assert snap["proc.samples"]["value"] == 1.0
+        assert snap["proc.rss_bytes.samples"]["count"] == 1
+        assert snap["proc.cpu_percent.samples"]["count"] == 1
+
+    def test_cpu_percent_nonnegative(self):
+        sampler = ResourceSampler(MetricsRegistry())
+        for _ in range(3):
+            assert sampler.sample_once()["cpu_percent"] >= 0.0
+
+
+class TestBackgroundThread:
+    def test_start_stop_collects_samples(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval_s=0.005)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        # At least the final stop() sample; usually several interval ticks.
+        assert sampler.samples >= 1
+        assert registry.snapshot()["proc.samples"]["value"] == sampler.samples
+        # The daemon thread is gone after stop().
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-resource-sampler" not in names
+
+    def test_start_idempotent(self):
+        sampler = ResourceSampler(MetricsRegistry(), interval_s=0.01)
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread
+        sampler.stop()
+
+    def test_context_manager(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(registry, interval_s=0.01) as sampler:
+            pass
+        assert sampler.samples >= 1
+
+    def test_stop_without_start(self):
+        ResourceSampler(MetricsRegistry()).stop()  # must not raise
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(MetricsRegistry(), interval_s=0.0)
+
+
+class TestNullSampler:
+    def test_null_is_inert(self):
+        assert not NULL_SAMPLER.enabled
+        assert NULL_SAMPLER.start() is NULL_SAMPLER
+        assert NULL_SAMPLER.sample_once() == {}
+        NULL_SAMPLER.stop()
+        assert NULL_SAMPLER.samples == 0
+
+    def test_null_context_manager(self):
+        with NullResourceSampler() as sampler:
+            assert sampler.sample_once() == {}
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-resource-sampler" not in names

@@ -58,6 +58,41 @@ class TestBuildRunReport:
         loaded = json.loads(path.read_text())
         assert loaded["meta"] == {"x": 1}
 
+    def test_embeds_epoch_events_from_event_log(self):
+        from repro.obs.events import EpochEvent, EventLog
+
+        log = EventLog(None)
+        log.emit(
+            EpochEvent(
+                epoch=0, loss=1.0, train_accuracy=0.5, wall_time_s=0.01,
+                compression={"realized_dram_bytes_saved": 0.0,
+                             "predicted_dram_bytes_saved": 1.0},
+            )
+        )
+        report = build_run_report(events=log)
+        assert len(report["epoch_events"]) == 1
+        assert report["epoch_events"][0]["epoch"] == 0
+        json.dumps(report)
+
+    def test_embeds_events_from_plain_list(self):
+        records = [{"kind": "epoch", "epoch": 0}]
+        report = build_run_report(events=records)
+        assert report["epoch_events"] == records
+
+    def test_embeds_sparsity_profile(self):
+        from repro.tensors import SparsityProfile
+
+        profile = SparsityProfile()
+        profile.add(1, 0.62)
+        report = build_run_report(sparsity=profile)
+        assert report["sparsity"]["last"] == {"1": 0.62}
+        json.dumps(report)
+
+    def test_no_extras_no_keys(self):
+        report = build_run_report()
+        assert "epoch_events" not in report
+        assert "sparsity" not in report
+
 
 class TestGlobalSingletons:
     def test_disabled_by_default(self):

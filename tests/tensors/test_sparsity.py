@@ -91,6 +91,39 @@ class TestProfile:
         profile.record(0, np.zeros((2, 2)))
         assert "layer" in profile.summary()
 
+    def test_add_validates_range(self):
+        profile = SparsityProfile()
+        profile.add(0, 0.5)
+        assert profile.last(0) == 0.5
+        with pytest.raises(ValueError):
+            profile.add(0, 1.5)
+        with pytest.raises(ValueError):
+            profile.add(0, -0.1)
+
+    def test_to_dict_layout(self):
+        profile = SparsityProfile()
+        profile.add(0, 0.0)
+        profile.add(0, 0.2)
+        profile.add(1, 0.6)
+        doc = profile.to_dict()
+        assert doc["per_layer"] == {"0": [0.0, 0.2], "1": [0.6]}
+        assert doc["mean"]["0"] == pytest.approx(0.1)
+        assert doc["last"] == {"0": 0.2, "1": 0.6}
+        import json
+
+        json.dumps(doc)  # JSON-serializable by construction
+
+    def test_dict_round_trip(self):
+        profile = SparsityProfile()
+        profile.add(2, 0.9)
+        profile.add(0, 0.1)
+        restored = SparsityProfile.from_dict(profile.to_dict())
+        assert restored.per_layer == profile.per_layer
+        assert restored.layers() == [0, 2]
+
+    def test_from_dict_empty(self):
+        assert SparsityProfile.from_dict({}).layers() == []
+
 
 @settings(max_examples=30, deadline=None)
 @given(

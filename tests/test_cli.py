@@ -53,6 +53,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "products", "--engine", "turbo"])
 
+    def test_train_observability_flags_default_off(self):
+        args = build_parser().parse_args(["train", "products"])
+        assert args.events is None
+        assert args.health is False
+        assert args.sample_proc is False
+
+    def test_train_observability_flags_parse(self):
+        args = build_parser().parse_args([
+            "train", "products", "--events", "e.jsonl", "--health",
+            "--sample-proc",
+        ])
+        assert args.events == "e.jsonl"
+        assert args.health is True
+        assert args.sample_proc is True
+
+    def test_dashboard_defaults(self):
+        args = build_parser().parse_args(["dashboard", "run.jsonl"])
+        assert args.events == "run.jsonl"
+        assert args.output == "run_dashboard.html"
+        assert args.report is None and args.history is None
+
 
 class TestLoggingConfig:
     @pytest.mark.parametrize("verbosity,level", [
@@ -146,3 +167,82 @@ class TestCommands:
         assert code == 0
         assert trace.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_train_events_health_and_report(self, tmp_path, capsys):
+        from repro.obs.events import validate_events_file
+
+        events = tmp_path / "run.jsonl"
+        report = tmp_path / "run.json"
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "16", "--hidden", "16",
+            "--events", str(events), "--health", "--json", str(report),
+        ])
+        assert code == 0
+        header, records = validate_events_file(str(events))
+        assert header["run"]["command"] == "train"
+        assert len(records) == 2
+        assert records[0]["sparsity"]  # per-layer sparsity present
+        assert records[0]["grad_norms"]
+        import json
+
+        doc = json.loads(report.read_text())
+        assert len(doc["epoch_events"]) == 2
+        assert doc["sparsity"]["per_layer"]
+        out = capsys.readouterr().out
+        assert "wrote 2 epoch events" in out
+        assert "health: ok" in out
+
+    def test_train_epoch_lines_via_logging(self, capsys, caplog):
+        # Satellite: epoch lines reach the console through the logging
+        # layer, not print() — stdout carries only the summaries.
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "1",
+            "--features", "8", "--hidden", "8",
+        ])
+        assert code == 0
+        assert "epoch   0" not in capsys.readouterr().out
+        epoch_lines = [
+            r.message for r in caplog.records
+            if r.name == "repro.nn.training" and "epoch   0" in r.message
+        ]
+        assert len(epoch_lines) == 1
+        # `repro train` shows the lines without -v: the CLI raises the
+        # training logger to INFO.
+        assert logging.getLogger("repro.nn.training").level == logging.INFO
+
+    def test_train_sample_proc(self, capsys):
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "1",
+            "--features", "8", "--hidden", "8", "--sample-proc",
+        ])
+        assert code == 0
+        assert "peak RSS" in capsys.readouterr().out
+
+    def test_dashboard_end_to_end(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        html_path = tmp_path / "run.html"
+        assert main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "8", "--hidden", "8", "--events", str(events),
+        ]) == 0
+        code = main(["dashboard", str(events), "-o", str(html_path)])
+        assert code == 0
+        html = html_path.read_text()
+        assert "<script" not in html.lower()
+        assert "https://" not in html
+        assert "Training loss" in html
+
+    def test_dashboard_rejects_invalid_events(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "events_header", "schema": 1}\n'
+                       '{"kind": "epoch", "schema": 1}\n')
+        code = main(["dashboard", str(bad), "-o", str(tmp_path / "x.html")])
+        assert code == 2
+        assert "missing field" in capsys.readouterr().err
+
+    def test_dashboard_needs_an_input(self, capsys):
+        assert main(["dashboard"]) == 2
+        assert "need an events file" in capsys.readouterr().err
