@@ -71,7 +71,11 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
 
     ``extras`` is a mutable dict the caller may fill *inside* the block
     (keys ``events`` and ``sparsity``); it is read on exit so the run
-    report can embed the epoch-event records and sparsity profile.
+    report can embed the epoch-event records and sparsity profile.  When
+    ``--history FILE`` is given (bench commands that append a perf-history
+    row), telemetry activates even without an output flag and the built
+    run report is stashed back into ``extras["report"]`` so the caller
+    can derive a :class:`~repro.obs.history.HistoryEntry` from it.
     """
     from . import obs
 
@@ -79,7 +83,14 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
     json_path = getattr(args, "json", None)
     perfetto_path = getattr(args, "perfetto", None)
     sample_proc = getattr(args, "sample_proc", False)
-    if not trace_path and not json_path and not perfetto_path and not sample_proc:
+    history_path = getattr(args, "history", None)
+    if (
+        not trace_path
+        and not json_path
+        and not perfetto_path
+        and not sample_proc
+        and not history_path
+    ):
         yield None
         return
     tracer, metrics = obs.enable()
@@ -90,7 +101,9 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
     finally:
         sampler.stop()
         obs.disable()
-        extras = extras or {}
+        # ``extras`` may arrive as an (empty, falsy) dict the caller will
+        # read after the block — never replace it, fill it in place.
+        extras = {} if extras is None else extras
         if sample_proc:
             snap = metrics.snapshot()
             rss = snap.get("proc.rss_bytes.samples", {})
@@ -103,18 +116,18 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
         if trace_path:
             count = tracer.export_jsonl(trace_path)
             print(f"wrote {count} spans to {trace_path}")
-        if json_path:
-            obs.write_json(
-                json_path,
-                obs.build_run_report(
-                    tracer,
-                    metrics,
-                    meta=meta,
-                    events=extras.get("events"),
-                    sparsity=extras.get("sparsity"),
-                ),
+        if json_path or history_path:
+            report = obs.build_run_report(
+                tracer,
+                metrics,
+                meta=meta,
+                events=extras.get("events"),
+                sparsity=extras.get("sparsity"),
             )
-            print(f"wrote run report to {json_path}")
+            extras["report"] = report
+            if json_path:
+                obs.write_json(json_path, report)
+                print(f"wrote run report to {json_path}")
         if perfetto_path:
             count = obs.export_perfetto(perfetto_path, tracer, metrics, meta=meta)
             print(f"wrote {count} span events to {perfetto_path} (Perfetto)")
@@ -269,6 +282,67 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return status
 
 
+def _bench_training_epochs(args, graph, engine) -> dict:
+    """Time full training epochs: batched backward vs the SpMM fallback.
+
+    Returns ``train.*`` history metrics.  The batched configuration is
+    the production path (``Trainer(backward_engine=True)``); the
+    oracle-backward configuration keeps the transpose-SpMM fallback that
+    rebuilds Â per layer per epoch — the pre-batched-backward engine,
+    measured as the speedup baseline.  One warmup epoch per
+    configuration amortizes JIT specialization and the cached-transpose
+    build; each configuration is then timed ``--train-trials`` times and
+    the *minimum* per-epoch time is reported — the standard noise-robust
+    statistic for a deterministic workload, since scheduling jitter only
+    ever adds time.
+    """
+    import time as time_module
+
+    from .graphs import synthetic_features
+    from .kernels import BasicKernel
+    from .nn import Adam, Trainer, build_model
+
+    classes = 8
+    features = synthetic_features(
+        graph, args.train_features, seed=args.seed, sparsity=0.5
+    )
+    labels = np.random.default_rng(args.seed).integers(
+        0, classes, graph.num_vertices
+    )
+    # The sweep's --task-size is tuned for the forward microbenchmark and
+    # must stay comparable to earlier history rows; training defaults to
+    # one chunk per epoch pass (no chunking overhead) unless overridden.
+    task_size = args.train_task_size or graph.num_vertices
+
+    def epoch_seconds(backward_engine: bool) -> float:
+        model = build_model(
+            "gcn", args.train_features, args.train_hidden, classes,
+            num_layers=args.train_layers, seed=args.seed,
+        )
+        kernel = BasicKernel(task_size=task_size, engine=engine)
+        trainer = Trainer(
+            model, Adam(model, lr=0.01),
+            aggregation_kernel=kernel, backward_engine=backward_engine,
+        )
+        trainer.train_epoch(graph, features, labels)  # warmup
+        best = float("inf")
+        for _ in range(max(1, args.train_trials)):
+            start = time_module.perf_counter()
+            for _ in range(args.train_epochs):
+                trainer.train_epoch(graph, features, labels)
+            elapsed = time_module.perf_counter() - start
+            best = min(best, elapsed / args.train_epochs)
+        return best
+
+    oracle_s = epoch_seconds(backward_engine=False)
+    batched_s = epoch_seconds(backward_engine=True)
+    return {
+        "train.epoch_oracle_backward_s": oracle_s,
+        "train.epoch_batched_s": batched_s,
+        "train.backward_speedup_x": oracle_s / batched_s if batched_s else 0.0,
+    }
+
+
 def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     from .bench.harness import Experiment
     from .graphs import load_dataset, synthetic_features
@@ -307,7 +381,8 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         "workers": list(args.workers),
         "engine": engine,
     }
-    with _telemetry(args, meta):
+    extras: dict = {}
+    with _telemetry(args, meta, extras=extras):
         for workers in args.workers:
             if args.backend == "serial" and workers != 1:
                 exp.note(f"skipping workers={workers}: serial backend runs one worker")
@@ -337,6 +412,33 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
                 f"{workers} workers: {stats.tasks} tasks -> [{chunks}] chunks/worker"
             )
     print(exp.render())
+
+    # Training-epoch bench runs *outside* the telemetry block: its spans
+    # must not pollute the sweep's span.* totals, which the perf gate
+    # compares like-for-like against earlier history rows.
+    train_metrics: dict = {}
+    if args.train_epochs:
+        train_metrics = _bench_training_epochs(args, graph, engine)
+        print(
+            f"training ({args.train_epochs} epochs, "
+            f"{args.train_layers} layers, F={args.train_features}): "
+            f"oracle-backward {train_metrics['train.epoch_oracle_backward_s']*1e3:.1f} ms/epoch, "
+            f"batched {train_metrics['train.epoch_batched_s']*1e3:.1f} ms/epoch "
+            f"({train_metrics['train.backward_speedup_x']:.2f}x)"
+        )
+
+    if args.history:
+        from .obs import history as hist
+
+        report = extras.get("report")
+        if report is None:  # pragma: no cover - _telemetry always builds it
+            print("no run report captured; history row skipped", file=sys.stderr)
+            return 2
+        label = args.history_label or f"bench-parallel-{engine}"
+        entry = hist.entry_from_run_report(report, label=label)
+        entry.metrics.update(train_metrics)
+        hist.append_history(args.history, entry)
+        print(f"appended history entry {label!r} to {args.history}")
     return 0
 
 
@@ -463,6 +565,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         current,
         threshold=args.threshold,
         baseline_runs=args.baseline_runs,
+        higher_is_better=hist.default_higher_is_better(current.metrics),
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -644,6 +747,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", choices=["loop", "batched"], default=None,
         help="chunk-execution engine (default: batched, or $REPRO_ENGINE)",
+    )
+    p.add_argument(
+        "--train-epochs", type=int, default=0, metavar="N",
+        help="additionally time N full training epochs per backward "
+        "configuration (batched backward vs the transpose-SpMM fallback) "
+        "and report the epoch speedup",
+    )
+    p.add_argument(
+        "--train-features", type=_positive_int, default=16,
+        help="input feature width of the training bench (default: %(default)s)",
+    )
+    p.add_argument(
+        "--train-hidden", type=_positive_int, default=16,
+        help="hidden width of the training bench (default: %(default)s)",
+    )
+    p.add_argument(
+        "--train-layers", type=_positive_int, default=3,
+        help="layer count of the training bench (default: %(default)s)",
+    )
+    p.add_argument(
+        "--train-trials", type=_positive_int, default=3,
+        help="timed repetitions per configuration; the minimum per-epoch "
+        "time is reported (default: %(default)s)",
+    )
+    p.add_argument(
+        "--train-task-size", type=int, default=0, metavar="T",
+        help="chunk size for the training bench kernels "
+        "(default: 0 = one chunk covering the whole graph)",
+    )
+    p.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="append one history entry (sweep span totals + train.* "
+        "metrics) to this JSONL perf history",
+    )
+    p.add_argument(
+        "--history-label", default=None,
+        help="history entry label (default: bench-parallel-<engine>)",
     )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")

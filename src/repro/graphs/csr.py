@@ -51,6 +51,10 @@ class CSRGraph:
     name: str = "graph"
     _degrees: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     _token: Optional[GraphToken] = field(default=None, repr=False, compare=False)
+    _csc: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
+    _transpose: Optional["CSRGraph"] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
@@ -165,18 +169,55 @@ class CSRGraph:
                 return True
         return False
 
-    def reverse(self) -> "CSRGraph":
-        """Transpose: out-edges become in-edges.
+    def csc_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Transpose-CSR (CSC) view of the adjacency, cached on the graph.
+
+        Returns ``(t_indptr, t_indices, t_perm)``: the CSR arrays of the
+        transposed graph plus the permutation mapping each transposed
+        edge position to its original edge position.  Any per-edge array
+        aligned with ``indices`` (e.g. the ψ edge factors) becomes the
+        transposed graph's per-edge array via ``array[t_perm]`` — the
+        layout the backward kernels (``grad_h = Âᵀ grad_a``) gather from.
+
+        The arrays are computed once and cached; they are derived state,
+        stripped on pickle and rebuilt lazily where needed.
+        """
+        if self._csc is None:
+            n = self.num_vertices
+            # Stable sort groups edges by source while preserving the
+            # (dst-major) order within each group, so each transposed row
+            # lists its neighbors in ascending order — the same layout
+            # ``from_edges`` would build.
+            perm = np.argsort(self.indices, kind="stable")
+            dst = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
+            t_indices = dst[perm]
+            counts = (
+                np.bincount(self.indices, minlength=n)
+                if self.num_edges
+                else np.zeros(n, dtype=np.int64)
+            )
+            t_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=t_indptr[1:])
+            self._csc = (t_indptr, t_indices, perm)
+        return self._csc
+
+    def transpose(self) -> "CSRGraph":
+        """The transposed graph (out-edges become in-edges), cached.
 
         The backward pass propagates gradients along reversed edges, so
-        training needs both directions.
+        training touches both directions every epoch; the transpose is
+        built once per graph.  ``g.transpose().transpose() is g``.
         """
-        n = self.num_vertices
-        dst = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
-        return CSRGraph.from_edges(
-            n, np.stack([self.indices, dst], axis=1), name=self.name + "^T",
-            deduplicate=False,
-        )
+        if self._transpose is None:
+            t_indptr, t_indices, _ = self.csc_arrays()
+            transposed = CSRGraph(t_indptr, t_indices, name=self.name + "^T")
+            transposed._transpose = self  # round-trip identity
+            self._transpose = transposed
+        return self._transpose
+
+    def reverse(self) -> "CSRGraph":
+        """Alias of :meth:`transpose` (kept for the original API)."""
+        return self.transpose()
 
     def to_scipy(self):
         """Adjacency as a scipy CSR matrix of float32 ones."""
@@ -185,6 +226,24 @@ class CSRGraph:
         data = np.ones(self.num_edges, dtype=np.float32)
         n = self.num_vertices
         return sp.csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Ship only the defining arrays: derived caches (CSC view,
+        transpose back-reference, identity token) are per-process state —
+        the transpose back-pointer would even drag a second graph along.
+        """
+        state = dict(self.__dict__)
+        for key in ("_csc", "_transpose", "_token"):
+            state[key] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        for key in ("_csc", "_transpose", "_token"):
+            self.__dict__.setdefault(key, None)
 
     # ------------------------------------------------------------------
     # Validation

@@ -74,14 +74,19 @@ class KernelStats:
         never shadow a declared counter.
         """
         out: Dict[str, float] = {}
-        for spec in fields(self):
-            if spec.name == "extra":
-                continue
-            out[spec.name] = float(getattr(self, spec.name))
+        for name in _STAT_FIELDS:
+            out[name] = float(getattr(self, name))
         if include_extra:
             for key, value in self.extra.items():
                 out[f"extra.{key}"] = float(value)
         return out
+
+
+#: Declared counter names, resolved once — ``dataclasses.fields`` walks
+#: descriptors on every call and ``as_dict`` runs twice per kernel call.
+_STAT_FIELDS = tuple(
+    spec.name for spec in fields(KernelStats) if spec.name != "extra"
+)
 
 
 @dataclass(frozen=True)
@@ -105,7 +110,9 @@ class UpdateParams:
         out = a_block @ self.weight + self.bias
         if self.activation:
             np.maximum(out, 0.0, out=out)
-        return out.astype(np.float32)
+        # fp32 in the normal pipeline; preserved (e.g. fp64) when a
+        # gradcheck drives the whole stack at higher precision.
+        return out.astype(np.result_type(a_block.dtype, np.float32), copy=False)
 
 
 class AggregationKernel:

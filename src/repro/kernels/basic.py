@@ -19,7 +19,8 @@ whichever worker runs its chunk.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import weakref
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +30,7 @@ from .base import AggregationKernel, KernelStats, resolve_engine, validate_input
 from .jit import JitKernelCache, KernelSpec
 from ..parallel.executor import ChunkExecutor, ExecutionReport
 from ..parallel.plan import build_chunk_plan
-from ..parallel.workload import BasicAggregationWorkload
+from ..parallel.workload import BackwardAggregationWorkload, BasicAggregationWorkload
 
 #: Default task size T (vertices per parallel task).
 DEFAULT_TASK_SIZE = 64
@@ -63,8 +64,29 @@ class BasicKernel(AggregationKernel):
         self.executor = executor or ChunkExecutor()
         self.engine = resolve_engine(engine)
         self.last_report: Optional[ExecutionReport] = None
+        #: (token id, transposed) -> (token weakref, natural order, plan).
+        #: Training calls the kernel every layer every epoch with the
+        #: default order; rebuilding the identical plan each time is pure
+        #: overhead.  Keyed like the JIT cache: the weakref guards against
+        #: a look-alike token allocated at a dead token's address.
+        self._plan_cache: Dict[
+            Tuple[int, bool], Tuple["weakref.ref", np.ndarray, object]
+        ] = {}
 
     name = "basic"
+
+    def _natural_plan(self, graph: CSRGraph, transposed: bool = False):
+        """(natural order, chunk plan), memoized per live graph."""
+        token = graph.cache_token()
+        key = (id(token), transposed)
+        hit = self._plan_cache.get(key)
+        if hit is not None and hit[0]() is token:
+            return hit[1], hit[2]
+        order = np.arange(graph.num_vertices, dtype=np.int64)
+        base = graph.transpose() if transposed else graph
+        plan = build_chunk_plan(base, self.task_size, order)
+        self._plan_cache[key] = (weakref.ref(token), order, plan)
+        return order, plan
 
     def aggregate(
         self,
@@ -80,8 +102,9 @@ class BasicKernel(AggregationKernel):
         """
         validate_inputs(graph, h)
         n = graph.num_vertices
+        plan = None
         if order is None:
-            order = np.arange(n, dtype=np.int64)
+            order, plan = self._natural_plan(graph)
         if len(order) != n:
             raise ValueError("order must cover every vertex exactly once")
 
@@ -103,7 +126,8 @@ class BasicKernel(AggregationKernel):
             workload.attach_batched(self.jit_cache.specialize_batched(graph, spec))
         else:
             workload.attach_inner(self.jit_cache.specialize(graph, spec))
-        plan = build_chunk_plan(graph, self.task_size, order)
+        if plan is None:
+            plan = build_chunk_plan(graph, self.task_size, order)
         with get_tracer().span(
             "kernel.basic",
             aggregator=aggregator,
@@ -120,4 +144,67 @@ class BasicKernel(AggregationKernel):
             stats.flops = 2.0 * stats.gathers * h.shape[1]
             span.add_counters(stats.as_dict())
         publish_counters(get_metrics(), "kernel.basic", stats.as_dict(False))
+        return outputs["out"], stats
+
+    def aggregate_backward(
+        self,
+        graph: CSRGraph,
+        grad_a: np.ndarray,
+        aggregator: str = "gcn",
+        order: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, KernelStats]:
+        """Backward aggregation ``grad_h = Âᵀ grad_a``, chunk-parallel.
+
+        The mirror of :meth:`aggregate` over the transposed adjacency:
+        the chunk plan balances the *transposed* degrees, the JIT cache
+        supplies the backward specializations (closures over the graph's
+        cached CSC view), and the same engine/backend knobs apply — so
+        ``--engine batched`` covers training end to end.
+        """
+        validate_inputs(graph, grad_a)
+        n = graph.num_vertices
+        plan = None
+        if order is None:
+            order, plan = self._natural_plan(graph, transposed=True)
+        if len(order) != n:
+            raise ValueError("order must cover every vertex exactly once")
+
+        compiled_before = self.jit_cache.compilations
+        engine = resolve_engine(self.engine)
+        spec = KernelSpec(feature_len=grad_a.shape[1], aggregator=aggregator)
+        workload = BackwardAggregationWorkload(
+            graph,
+            grad_a,
+            aggregator,
+            order,
+            prefetch_distance=self.prefetch_distance,
+            prefetch_lines=PREFETCH_LINES_PER_VECTOR,
+            engine=engine,
+        )
+        if engine == "batched":
+            workload.attach_batched(
+                self.jit_cache.specialize_batched_backward(graph, spec)
+            )
+        else:
+            workload.attach_inner(self.jit_cache.specialize_backward(graph, spec))
+        if plan is None:
+            plan = build_chunk_plan(graph.transpose(), self.task_size, order)
+        with get_tracer().span(
+            "kernel.backward.basic",
+            aggregator=aggregator,
+            vertices=n,
+            edges=graph.num_edges,
+            features=int(grad_a.shape[1]),
+            backend=self.executor.backend,
+            workers=self.executor.workers,
+            engine=engine,
+        ) as span:
+            outputs, stats, report = self.executor.run(workload, plan)
+            self.last_report = report
+            stats.jit_compilations = self.jit_cache.compilations - compiled_before
+            stats.flops = 2.0 * stats.gathers * grad_a.shape[1]
+            span.add_counters(stats.as_dict())
+        publish_counters(
+            get_metrics(), "kernel.backward.basic", stats.as_dict(False)
+        )
         return outputs["out"], stats

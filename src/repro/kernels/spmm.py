@@ -35,13 +35,27 @@ class SpMMKernel(AggregationKernel):
         """Aggregate all vertices with one SpMM.
 
         ``order`` is accepted for interface uniformity with the other
-        aggregation kernels (variant sweeps pass it to every kernel) but
-        is a no-op: the sparse product computes all rows at once, so a
-        processing order cannot change the result or the work done.
+        aggregation kernels (variant sweeps pass it to every kernel).
+        A processing order cannot change a sparse product's result or
+        work, so a *valid* permutation is honored trivially — but it is
+        now fully validated: the kwarg used to accept any same-length
+        array silently, letting a malformed order pass through sweeps
+        unnoticed until a kernel that does walk it disagreed.
         """
         validate_inputs(graph, h)
-        if order is not None and len(order) != graph.num_vertices:
-            raise ValueError("order must cover every vertex exactly once")
+        if order is not None:
+            order = np.asarray(order)
+            n = graph.num_vertices
+            if len(order) != n:
+                raise ValueError("order must cover every vertex exactly once")
+            if n and (
+                order.min() < 0
+                or order.max() >= n
+                or len(np.unique(order)) != n
+            ):
+                raise ValueError(
+                    "order must be a permutation of all vertex ids"
+                )
         with get_tracer().span(
             "kernel.mkl",
             aggregator=aggregator,

@@ -92,7 +92,7 @@ def aggregate(graph: CSRGraph, h: np.ndarray, aggregator: str = "gcn") -> np.nda
     if aggregator == "max":
         return _aggregate_max(graph, h)
     a_hat = normalized_adjacency(graph, aggregator)
-    return (a_hat @ h).astype(np.float32)
+    return (a_hat @ h).astype(np.result_type(h.dtype, np.float32))
 
 
 def aggregate_backward(
@@ -100,17 +100,68 @@ def aggregate_backward(
 ) -> np.ndarray:
     """Gradient of the linear aggregation w.r.t. the input features.
 
-    ``a = Â h`` implies ``dL/dh = Â^T dL/da``.
+    ``a = Â h`` implies ``dL/dh = Â^T dL/da``.  This is the vectorized
+    *fallback* (one transpose-SpMM, rebuilding Â per call); training on
+    an optimized kernel routes through the cached-CSC batched backward
+    instead (:meth:`repro.kernels.BasicKernel.aggregate_backward`).
     """
     aggregator = canonical_aggregator(aggregator)
     if aggregator == "max":
         raise NotImplementedError("max aggregation has no linear backward")
     a_hat = normalized_adjacency(graph, aggregator)
-    return (a_hat.T @ grad_a).astype(np.float32)
+    return (a_hat.T @ grad_a).astype(np.result_type(grad_a.dtype, np.float32))
+
+
+def aggregate_backward_reference(
+    graph: CSRGraph, grad_a: np.ndarray, aggregator: str = "gcn"
+) -> np.ndarray:
+    """Scalar-loop backward aggregation — the independent second oracle.
+
+    Walks every forward edge once and scatters ``ψ_e * grad_a[dst]``
+    onto the edge's source (plus the ψ-scaled self term), accumulating
+    in float64: exactly ``Âᵀ grad_a`` with no sparse library involved.
+    The differential gradient suite pins every optimized backward
+    engine against this.
+    """
+    aggregator = canonical_aggregator(aggregator)
+    if aggregator == "max":
+        raise NotImplementedError("max aggregation has no linear backward")
+    edge, self_f = normalization_factors(graph, aggregator)
+    out = np.zeros_like(grad_a, dtype=np.float64)
+    for v in range(graph.num_vertices):
+        start, end = graph.indptr[v], graph.indptr[v + 1]
+        for pos in range(start, end):
+            out[graph.indices[pos]] += (
+                grad_a[v].astype(np.float64) * edge[pos]
+            )
+        out[v] += grad_a[v].astype(np.float64) * self_f[v]
+    return out.astype(np.result_type(grad_a.dtype, np.float32))
 
 
 def _aggregate_max(graph: CSRGraph, h: np.ndarray) -> np.ndarray:
-    """Element-wise max over N(v) ∪ {v} — supported by red_op=max."""
+    """Element-wise max over N(v) ∪ {v} — supported by red_op=max.
+
+    Vectorized: one ``np.maximum.reduceat`` over the gathered neighbor
+    rows for the non-empty CSR segments, then an elementwise max with
+    the self row (``_aggregate_max_reference`` keeps the loop oracle).
+    """
+    out = np.ascontiguousarray(h, dtype=np.float32).copy()
+    degs = graph.degrees()
+    nonempty = np.flatnonzero(degs)
+    if len(nonempty):
+        starts = graph.indptr[:-1][nonempty]
+        gathered = h[graph.indices].astype(np.float32, copy=False)
+        seg_max = np.maximum.reduceat(gathered, starts, axis=0)
+        # reduceat segment i runs to the next start, so restrict to rows
+        # whose segment is exactly one CSR row: starts are row starts of
+        # non-empty rows, and the next start is the next non-empty row's
+        # start == this row's end (empty rows contribute no positions).
+        out[nonempty] = np.maximum(out[nonempty], seg_max)
+    return out
+
+
+def _aggregate_max_reference(graph: CSRGraph, h: np.ndarray) -> np.ndarray:
+    """The original per-vertex loop of :func:`_aggregate_max` (oracle)."""
     out = h.copy()
     for v in range(graph.num_vertices):
         row = graph.neighbors(v)

@@ -19,8 +19,13 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 
 def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-    """d relu(x)/dx * grad_out, using the pre-activation ``x``."""
-    return np.where(x > 0, grad_out, 0.0)
+    """d relu(x)/dx * grad_out, using the pre-activation ``x``.
+
+    A masked multiply, not ``np.where(..., 0.0)``: the float literal
+    would silently promote an fp32 gradient to fp64, and the multiply is
+    the form the fused backward folds straight into its GEMM pair.
+    """
+    return grad_out * (x > 0)
 
 
 def dropout(
@@ -73,18 +78,24 @@ def cross_entropy(
     if labels.shape != (n,):
         raise ValueError(f"labels shape {labels.shape} != ({n},)")
     probs = softmax(logits.astype(np.float64))
-    if mask is None:
-        mask = np.ones(n, dtype=bool)
-    count = int(mask.sum())
-    if count == 0:
-        raise ValueError("loss mask selects no vertices")
-    picked = probs[np.arange(n), labels]
-    loss = float(-np.log(np.clip(picked[mask], 1e-12, None)).mean())
+    rows = np.arange(n)
+    picked = probs[rows, labels]
     grad = probs
-    grad[np.arange(n), labels] -= 1.0
-    grad[~mask] = 0.0
+    grad[rows, labels] -= 1.0
+    if mask is None:
+        # Unmasked loss (every full-batch epoch): the masked path below
+        # computes the same values through an all-true mask — skip its
+        # mask/~mask temporaries on the training hot path.
+        count = n
+    else:
+        count = int(mask.sum())
+        if count == 0:
+            raise ValueError("loss mask selects no vertices")
+        picked = picked[mask]
+        grad[~mask] = 0.0
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
     grad /= count
-    return loss, grad.astype(np.float32)
+    return loss, grad.astype(np.result_type(logits.dtype, np.float32))
 
 
 def accuracy(

@@ -42,6 +42,7 @@ class LayerGrads:
     weight: np.ndarray
     bias: np.ndarray
     h_in: np.ndarray
+    agg_stats: Optional[KernelStats] = None  # set when a kernel ran backward
 
 
 class GNNLayer:
@@ -112,26 +113,53 @@ class GNNLayer:
             h_in=h_dropped, a=a, pre_activation=pre, dropout_mask=mask,
             agg_stats=agg_stats,
         )
-        return h_out.astype(np.float32), cache
+        # astype preserves the working dtype (fp32 normally, fp64 when a
+        # gradcheck drives the pipeline at double precision); copy=False
+        # keeps the fp32 path allocation-free.
+        return h_out.astype(pre.dtype, copy=False), cache
 
     def backward(
-        self, graph: CSRGraph, grad_out: np.ndarray, cache: LayerCache
+        self,
+        graph: CSRGraph,
+        grad_out: np.ndarray,
+        cache: LayerCache,
+        kernel: Optional[AggregationKernel] = None,
     ) -> LayerGrads:
-        """Chain rule through update then aggregation."""
-        grad_pre = (
-            F.relu_grad(cache.pre_activation, grad_out)
-            if self.activation
-            else grad_out
-        )
+        """Chain rule through update then aggregation.
+
+        The ReLU backward is *fused* into the update backward: instead of
+        materializing ``relu_grad`` and then running two GEMMs, the
+        activation mask is applied once as a masked multiply and the
+        masked gradient feeds both GEMMs directly — one masked BLAS pair
+        per layer, no fp64 promotion, no extra temporary.
+
+        ``kernel`` routes the aggregation backward (``Âᵀ grad_a``)
+        through an optimized execution strategy when it provides
+        ``aggregate_backward`` (e.g. the batched cached-CSC engine of
+        :class:`~repro.kernels.BasicKernel`); otherwise the transpose-
+        SpMM fallback runs.
+        """
+        if self.activation:
+            # Fold relu' into the GEMM pair: mask once, reuse for both.
+            grad_pre = grad_out * (cache.pre_activation > 0)
+        else:
+            grad_pre = grad_out
         grad_w = cache.a.T @ grad_pre
         grad_b = grad_pre.sum(axis=0)
         grad_a = grad_pre @ self.weight.T  # the extra GEMM of Section 7.1.1
-        grad_h = aggregate_backward(graph, grad_a, self.aggregator)
+        agg_stats = None
+        if kernel is not None and hasattr(kernel, "aggregate_backward"):
+            grad_h, agg_stats = kernel.aggregate_backward(
+                graph, np.ascontiguousarray(grad_a), self.aggregator
+            )
+        else:
+            grad_h = aggregate_backward(graph, grad_a, self.aggregator)
         grad_h = F.dropout_grad(grad_h, cache.dropout_mask, self.dropout)
         return LayerGrads(
-            weight=grad_w.astype(np.float32),
-            bias=grad_b.astype(np.float32),
-            h_in=grad_h.astype(np.float32),
+            weight=grad_w.astype(self.weight.dtype, copy=False),
+            bias=grad_b.astype(self.bias.dtype, copy=False),
+            h_in=grad_h.astype(cache.h_in.dtype, copy=False),
+            agg_stats=agg_stats,
         )
 
     # ------------------------------------------------------------------

@@ -65,15 +65,34 @@ class GNNModel:
         return h, caches
 
     def backward(
-        self, graph: CSRGraph, grad_logits: np.ndarray, caches: List[LayerCache]
+        self,
+        graph: CSRGraph,
+        grad_logits: np.ndarray,
+        caches: List[LayerCache],
+        kernel: Optional[AggregationKernel] = None,
     ) -> List[LayerGrads]:
-        """Full backward pass; returns grads aligned with ``self.layers``."""
+        """Full backward pass; returns grads aligned with ``self.layers``.
+
+        ``kernel`` routes every layer's aggregation backward
+        (``Âᵀ grad_a``) through an optimized execution strategy when it
+        provides ``aggregate_backward``, mirroring ``forward``.
+        """
         if len(caches) != self.num_layers:
             raise ValueError("cache count does not match layer count")
         grads: List[Optional[LayerGrads]] = [None] * self.num_layers
         grad = grad_logits
+        tracer = get_tracer()
         for idx in range(self.num_layers - 1, -1, -1):
-            layer_grads = self.layers[idx].backward(graph, grad, caches[idx])
+            with tracer.span(
+                "layer.backward",
+                index=idx,
+                in_features=self.layers[idx].in_features,
+                out_features=self.layers[idx].out_features,
+                aggregator=self.layers[idx].aggregator,
+            ):
+                layer_grads = self.layers[idx].backward(
+                    graph, grad, caches[idx], kernel=kernel
+                )
             grads[idx] = layer_grads
             grad = layer_grads.h_in
         return grads  # type: ignore[return-value]

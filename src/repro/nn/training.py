@@ -53,6 +53,9 @@ class TrainingHistory:
     #: Work counters merged from every forward aggregation that ran on an
     #: optimized kernel (empty when training uses the SpMM oracle).
     aggregation_stats: KernelStats = field(default_factory=KernelStats)
+    #: Work counters merged from every *backward* aggregation that ran on
+    #: an optimized kernel (empty when backward uses the SpMM fallback).
+    backward_stats: KernelStats = field(default_factory=KernelStats)
 
     @property
     def final_loss(self) -> float:
@@ -78,12 +81,19 @@ class Trainer:
             the Section 2.2 measurement that motivates feature compression.
         aggregation_kernel: optional optimized execution strategy (e.g. a
             ``BasicKernel`` on a multi-worker ``ChunkExecutor``) used for
-            every forward aggregation; the backward pass stays on the
-            transpose-SpMM oracle, which no kernel variant restructures.
+            every forward aggregation — and, when the kernel provides
+            ``aggregate_backward`` (the cached-CSC batched backward of
+            :class:`~repro.kernels.BasicKernel`), for every backward
+            aggregation too.
         engine: chunk-execution engine (``"loop"`` or ``"batched"``).
             When given without a kernel, forward aggregation runs on a
             default :class:`~repro.kernels.BasicKernel` using it; when a
             kernel is given too, the kernel's engine is overridden.
+        backward_engine: route the backward aggregation through the
+            kernel as well (the default).  ``False`` keeps backward on
+            the transpose-SpMM fallback that rebuilds Â per call — the
+            pre-batched-backward configuration, kept as a benchmark
+            baseline and differential-testing aid.
         event_log: optional :class:`~repro.obs.events.EventLog`; every
             ``train_epoch`` emits one streaming epoch record (loss,
             accuracies, per-layer grad/weight norms, per-layer sparsity,
@@ -104,12 +114,14 @@ class Trainer:
         profile_sparsity: bool = False,
         aggregation_kernel: Optional[AggregationKernel] = None,
         engine: Optional[str] = None,
+        backward_engine: bool = True,
         event_log: Optional["EventLog"] = None,
         health: Optional["HealthMonitor"] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.profile_sparsity = profile_sparsity
+        self.backward_engine = backward_engine
         self.event_log = event_log
         self.health = health
         if engine is not None:
@@ -165,7 +177,17 @@ class Trainer:
                         self.history.sparsity.add(layer_idx, value)
             loss, grad = F.cross_entropy(logits, labels, mask=train_mask)
             with tracer.span("backward"):
-                grads = self.model.backward(graph, grad, caches)
+                grads = self.model.backward(
+                    graph,
+                    grad,
+                    caches,
+                    kernel=(
+                        self.aggregation_kernel if self.backward_engine else None
+                    ),
+                )
+            for layer_grads in grads:
+                if layer_grads.agg_stats is not None:
+                    self.history.backward_stats.merge(layer_grads.agg_stats)
             self.optimizer.step(grads)
             result = EpochResult(
                 epoch=epoch_index,

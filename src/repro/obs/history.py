@@ -39,6 +39,15 @@ DEFAULT_BASELINE_RUNS = 5
 #: is reported as skipped instead of gated.
 BASELINE_FLOOR = 1e-12
 
+#: Metric-name suffixes gated as higher-is-better without an explicit
+#: ``higher_is_better`` list (speedup ratios regress *downward*).
+HIGHER_IS_BETTER_SUFFIXES = ("speedup_x",)
+
+
+def default_higher_is_better(names: Iterable[str]) -> set:
+    """Metric names whose suffix marks them higher-is-better."""
+    return {n for n in names if n.endswith(HIGHER_IS_BETTER_SUFFIXES)}
+
 
 @dataclass
 class HistoryEntry:

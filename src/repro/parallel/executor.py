@@ -194,14 +194,17 @@ class ChunkExecutor:
                 metrics.inc(f"{prefix}.chunks", report.num_chunks)
                 metrics.inc(f"{prefix}.vertices", report.num_vertices)
                 metrics.observe(f"{prefix}.elapsed_s", report.elapsed_s)
-        logger.debug(
-            "%s x%d ran %d chunks in %.4fs (imbalance %.2f)",
-            self.backend,
-            self.workers,
-            plan.num_chunks,
-            execution.wall_time_s,
-            execution.imbalance,
-        )
+        # imbalance is O(workers) numpy work — don't compute it eagerly
+        # just to discard it when DEBUG is off (this runs per kernel call).
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s x%d ran %d chunks in %.4fs (imbalance %.2f)",
+                self.backend,
+                self.workers,
+                plan.num_chunks,
+                execution.wall_time_s,
+                execution.imbalance,
+            )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -218,7 +221,16 @@ class ChunkExecutor:
         for chunk in chunks:
             writes, chunk_stats = workload.run_chunk(chunk)
             for name, (idx, rows) in writes.items():
-                outputs[name][idx] = rows
+                count = len(idx)
+                if count > 1 and int(idx[-1]) - int(idx[0]) == count - 1 and bool(
+                    (np.diff(idx) == 1).all()
+                ):
+                    # Ascending contiguous ids (every natural-order chunk):
+                    # a slice write is a straight memcpy, vs the per-row
+                    # indirection of a fancy-index scatter.
+                    outputs[name][int(idx[0]) : int(idx[0]) + count] = rows
+                else:
+                    outputs[name][idx] = rows
             stats.merge(chunk_stats)
             vertices += chunk.num_vertices
         return WorkerReport(

@@ -101,14 +101,17 @@ class _AggregationChunkBase(ChunkWorkload):
         """Vectorized Alg. 1 line 9 accounting, identical to the loop's."""
         if not self.prefetch_distance:
             return
+        # The look-ahead positions are the contiguous range [start+D,
+        # min(stop+D, n)) — slice the order directly instead of building
+        # and filtering an index array per chunk.
         n = len(self.order)
-        ahead = np.arange(start, stop, dtype=np.int64) + self.prefetch_distance
-        ahead = ahead[ahead < n]
-        if len(ahead):
+        lo = start + self.prefetch_distance
+        hi = min(stop + self.prefetch_distance, n)
+        if lo < hi:
             degs = self._rt_degs
             stats.prefetches += int(
-                ((degs[self.order[ahead]] + 1) * self.prefetch_lines).sum()
-            )
+                (degs[self.order[lo:hi]] + 1).sum()
+            ) * self.prefetch_lines
 
     def _count_gathers(self, stats: KernelStats, verts: np.ndarray) -> None:
         gathered = int((self._rt_degs[verts] + 1).sum())
@@ -146,7 +149,9 @@ class BasicAggregationWorkload(_AggregationChunkBase):
         self.engine = engine
 
     def output_specs(self):
-        return {"out": (self.h.shape, np.dtype(np.float32))}
+        # Preserve the input dtype: fp32 in normal runs, fp64 when a
+        # gradcheck drives the whole pipeline at double precision.
+        return {"out": (self.h.shape, np.result_type(self.h.dtype, np.float32))}
 
     def run_chunk(self, chunk: Chunk) -> Tuple[ChunkWrites, KernelStats]:
         if self.engine == "batched":
@@ -155,7 +160,10 @@ class BasicAggregationWorkload(_AggregationChunkBase):
         degs = self._rt_degs
         order = self.order
         n = len(order)
-        rows = np.empty((chunk.num_vertices, self.h.shape[1]), dtype=np.float32)
+        rows = np.empty(
+            (chunk.num_vertices, self.h.shape[1]),
+            dtype=np.result_type(self.h.dtype, np.float32),
+        )
         stats = KernelStats(tasks=1)
         for m, pos in enumerate(range(chunk.start, chunk.stop)):
             v = int(order[pos])
@@ -178,6 +186,36 @@ class BasicAggregationWorkload(_AggregationChunkBase):
         self._count_gathers(stats, verts)
         self._count_prefetches(stats, chunk.start, chunk.stop)
         return {"out": (verts, rows)}, stats
+
+
+class BackwardAggregationWorkload(BasicAggregationWorkload):
+    """The backward twin of Algorithm 1: chunked rows of ``Âᵀ grad_a``.
+
+    ``h`` holds the upstream gradient ``grad_a``; each chunk writes the
+    disjoint ``grad_h`` rows it owns.  The chunk bodies are inherited
+    unchanged — only :meth:`prepare` differs, binding the *backward* JIT
+    specializations (closures over the graph's cached CSC view) and the
+    transposed degrees the counters and prefetch accounting walk.  The
+    two engines therefore keep the exact stats-parity and bitwise
+    properties of the forward pass.
+    """
+
+    def prepare(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        spec = KernelSpec(feature_len=self.h.shape[1], aggregator=self.aggregator)
+        if self.engine == "batched":
+            if getattr(self, "_rt_batched", None) is None:
+                self._rt_batched = JitKernelCache().specialize_batched_backward(
+                    self.graph, spec
+                )
+        elif getattr(self, "_rt_inner", None) is None:
+            self._rt_inner = JitKernelCache().specialize_backward(self.graph, spec)
+        # Work accounting follows the transposed adjacency: a backward
+        # "gather" reads one incoming-gradient row per out-edge + self.
+        # The cached transpose memoizes its degree array, so repeated
+        # prepare() calls (one per epoch per layer) cost nothing.
+        self._rt_degs = self.graph.transpose().degrees()
 
 
 class FusedLayerWorkload(_AggregationChunkBase):

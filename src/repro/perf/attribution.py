@@ -30,6 +30,11 @@ from .traffic import (
 SPAN_VARIANTS: Dict[str, str] = {
     "kernel.mkl": "mkl",
     "kernel.basic": "basic",
+    # The backward aggregation (Âᵀ grad_a) has the basic kernel's shape:
+    # same gather-reduce structure over the transposed adjacency, so the
+    # same traffic/compute model prices it and backward spans get
+    # attribution rows of their own.
+    "kernel.backward.basic": "basic",
     "kernel.fusion": "fusion",
     "kernel.compression": "compression",
     "kernel.combined": "combined",

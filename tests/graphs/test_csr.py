@@ -107,6 +107,97 @@ class TestDerived:
             CSRGraph.from_scipy(sp.csr_matrix((2, 3)))
 
 
+class TestTranspose:
+    """The cached transpose (CSC view) behind the batched backward."""
+
+    def test_transpose_round_trip_is_identity(self, small_uniform):
+        # The cached transpose keeps a back-pointer, so the round trip
+        # returns the *same object* — not merely an equal graph.
+        assert small_uniform.transpose().transpose() is small_uniform
+
+    def test_transpose_arrays_match_from_edges(self, tiny_graph):
+        """transpose() must build exactly the graph from_edges would
+        build from the reversed edge list (same row-sorted layout)."""
+        reversed_edges = []
+        for dst in range(tiny_graph.num_vertices):
+            for src in tiny_graph.neighbors(dst):
+                reversed_edges.append((int(src), dst))
+        expected = CSRGraph.from_edges(tiny_graph.num_vertices, reversed_edges)
+        t = tiny_graph.transpose()
+        np.testing.assert_array_equal(t.indptr, expected.indptr)
+        np.testing.assert_array_equal(t.indices, expected.indices)
+
+    def test_degree_invariants(self, small_uniform):
+        t = small_uniform.transpose()
+        # Total edge count is preserved; the transposed in-degrees are
+        # the original out-degrees (occurrence counts in indices).
+        assert t.num_edges == small_uniform.num_edges
+        out_degs = np.bincount(
+            small_uniform.indices, minlength=small_uniform.num_vertices
+        )
+        np.testing.assert_array_equal(t.degrees(), out_degs)
+        assert t.degrees().sum() == small_uniform.degrees().sum()
+
+    def test_csc_arrays_permutation_carries_edge_data(self, tiny_graph):
+        """csc_arrays' perm maps forward edge slots to transposed slots:
+        scattering each forward edge's destination through it must yield
+        the transposed indices array."""
+        t_indptr, t_indices, perm = tiny_graph.csc_arrays()
+        dst = np.repeat(
+            np.arange(tiny_graph.num_vertices), tiny_graph.degrees()
+        )
+        np.testing.assert_array_equal(dst[perm], t_indices)
+        np.testing.assert_array_equal(
+            tiny_graph.indices[perm],
+            np.repeat(np.arange(tiny_graph.num_vertices), np.diff(t_indptr)),
+        )
+
+    def test_transpose_is_cached(self, tiny_graph):
+        assert tiny_graph.transpose() is tiny_graph.transpose()
+
+    def test_empty_graph_transpose(self):
+        graph = CSRGraph.from_edges(0, [])
+        t = graph.transpose()
+        assert t.num_vertices == 0 and t.num_edges == 0
+
+    def test_self_loops_survive_transpose(self):
+        graph = CSRGraph.from_edges(4, [(0, 0), (1, 2), (3, 3)])
+        t = graph.transpose()
+        assert 0 in t.neighbors(0)
+        assert 3 in t.neighbors(3)
+        assert 1 in t.neighbors(2)
+
+    def test_pickling_drops_cached_transpose(self, tiny_graph):
+        import pickle
+
+        tiny_graph.transpose()  # populate the cache
+        clone = pickle.loads(pickle.dumps(tiny_graph))
+        assert clone._transpose is None and clone._csc is None
+        # And the clone can rebuild it from scratch.
+        assert clone.transpose().num_edges == tiny_graph.num_edges
+
+
+class TestTransposeEviction:
+    """Backward JIT entries keyed on a graph die with the graph — the
+    same weakref-eviction contract the forward cache established."""
+
+    def test_backward_entries_evicted_when_graph_dies(self):
+        import gc
+
+        from repro.graphs import uniform_graph
+        from repro.kernels.jit import JitKernelCache, KernelSpec
+
+        cache = JitKernelCache()
+        graph = uniform_graph(30, avg_degree=3.0, seed=2)
+        spec = KernelSpec(4, "gcn")
+        cache.specialize_batched_backward(graph, spec)
+        cache.specialize_backward(graph, spec)
+        assert len(cache) == 2
+        del graph
+        gc.collect()
+        assert len(cache) == 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     n=st.integers(min_value=1, max_value=20),

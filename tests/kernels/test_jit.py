@@ -122,6 +122,60 @@ class TestBatchedSpecialization:
         assert len(cache) == 2
 
 
+class TestBackwardSpecialization:
+    """The transpose-direction closures behind the batched backward."""
+
+    def test_cached_separately_per_direction(self, small_products):
+        """Forward and backward share a spec but never a cache entry —
+        they close over different (transposed) factor layouts."""
+        cache = JitKernelCache()
+        spec = KernelSpec(8, "gcn")
+        cache.specialize(small_products, spec)
+        cache.specialize_batched(small_products, spec)
+        cache.specialize_backward(small_products, spec)
+        cache.specialize_batched_backward(small_products, spec)
+        assert cache.compilations == 4
+        assert len(cache) == 4
+        # Second round hits the cache for every direction.
+        cache.specialize_backward(small_products, spec)
+        cache.specialize_batched_backward(small_products, spec)
+        assert cache.compilations == 4
+
+    def test_batched_backward_matches_loop_backward(self, small_products):
+        cache = JitKernelCache()
+        spec = KernelSpec(8, "gcn")
+        loop = cache.specialize_backward(small_products, spec)
+        batched = cache.specialize_batched_backward(small_products, spec)
+        grad_a = synthetic_features(small_products, 8, seed=4)
+        verts = np.arange(13, 57, dtype=np.int64)
+        looped = np.stack([loop(grad_a, int(v)) for v in verts])
+        np.testing.assert_allclose(batched(grad_a, verts), looped, atol=2e-5)
+
+    def test_backward_is_transpose_of_forward(self, small_uniform):
+        """<Â h, g> == <h, Âᵀ g> — the adjointness identity that defines
+        the backward kernel, checked against the forward closure."""
+        cache = JitKernelCache()
+        spec = KernelSpec(6, "gcn")
+        fwd = cache.specialize_batched(small_uniform, spec)
+        bwd = cache.specialize_batched_backward(small_uniform, spec)
+        rng = np.random.default_rng(0)
+        h = rng.standard_normal((small_uniform.num_vertices, 6)).astype(np.float32)
+        g = rng.standard_normal((small_uniform.num_vertices, 6)).astype(np.float32)
+        verts = np.arange(small_uniform.num_vertices, dtype=np.int64)
+        lhs = float((fwd(h, verts) * g).sum())
+        rhs = float((h * bwd(g, verts)).sum())
+        assert abs(lhs - rhs) <= 1e-3 * max(abs(lhs), 1.0)
+
+    def test_backward_entries_amortize_in_kernel(self, small_products):
+        """Training pattern: the second backward pass compiles nothing."""
+        kernel = BasicKernel(engine="batched")
+        grad_a = synthetic_features(small_products, 16, seed=5)
+        _, first = kernel.aggregate_backward(small_products, grad_a, "gcn")
+        _, second = kernel.aggregate_backward(small_products, grad_a, "gcn")
+        assert first.jit_compilations == 1
+        assert second.jit_compilations == 0
+
+
 class TestWeakrefKeying:
     """Regression: the cache used to key off ``id(graph)``, so a look-alike
     graph allocated at a dead graph's address silently inherited its

@@ -27,6 +27,23 @@ class TestOrderKwarg:
                 small_products, features16, "gcn", order=np.array([0, 1, 2])
             )
 
+    def test_duplicate_ids_rejected(self, small_products, features16):
+        """Regression: ``order`` used to be a silent no-op — any
+        same-length array slipped through.  A repeated vertex id is not a
+        permutation and must raise, exactly as the walking kernels do."""
+        order = np.zeros(small_products.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError, match="permutation"):
+            SpMMKernel().aggregate(small_products, features16, "gcn", order=order)
+
+    def test_out_of_range_ids_rejected(self, small_products, features16):
+        order = np.arange(small_products.num_vertices, dtype=np.int64)
+        order[0] = small_products.num_vertices  # one past the end
+        with pytest.raises(ValueError, match="permutation"):
+            SpMMKernel().aggregate(small_products, features16, "gcn", order=order)
+        order[0] = -1
+        with pytest.raises(ValueError, match="permutation"):
+            SpMMKernel().aggregate(small_products, features16, "gcn", order=order)
+
     def test_matches_oracle_with_order(self, small_products, features16):
         order = randomized_order(small_products, seed=8)
         out, _ = SpMMKernel().aggregate(small_products, features16, "mean", order=order)

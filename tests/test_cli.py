@@ -168,6 +168,44 @@ class TestCommands:
         assert trace.exists()
         assert "wrote" in capsys.readouterr().out
 
+    def test_bench_parallel_train_flags_default_off(self):
+        args = build_parser().parse_args(["bench-parallel", "products"])
+        assert args.train_epochs == 0
+        assert args.train_trials == 3
+        assert args.train_task_size == 0
+        assert args.history is None
+
+    def test_bench_parallel_training_history(self, tmp_path, capsys):
+        """The train-epoch bench times both backward configurations and
+        appends a history row carrying the train.* metrics."""
+        import json
+
+        history = tmp_path / "hist.jsonl"
+        code = main([
+            "bench-parallel", "products", "--scale", "0.05",
+            "--workers", "1", "--backend", "serial",
+            "--train-epochs", "2", "--train-trials", "1",
+            "--train-features", "4", "--train-hidden", "4",
+            "--train-layers", "2",
+            "--history", str(history), "--history-label", "cli-test",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training (2 epochs, 2 layers, F=4)" in out
+        assert "appended history entry 'cli-test'" in out
+        (entry,) = [json.loads(line) for line in history.read_text().splitlines()]
+        assert entry["label"] == "cli-test"
+        metrics = entry["metrics"]
+        assert metrics["train.epoch_oracle_backward_s"] > 0
+        assert metrics["train.epoch_batched_s"] > 0
+        assert metrics["train.backward_speedup_x"] == pytest.approx(
+            metrics["train.epoch_oracle_backward_s"]
+            / metrics["train.epoch_batched_s"]
+        )
+        # The sweep's span totals ride along in the same row, so the
+        # perf gate can compare them like-for-like with earlier entries.
+        assert "span.kernel.basic.total_s" in metrics
+
 
 class TestObservabilityCommands:
     def test_train_events_health_and_report(self, tmp_path, capsys):
