@@ -9,7 +9,12 @@ Subcommands:
   --backend {serial,thread,process}`` runs aggregation on real workers;
   ``--trace FILE`` / ``--json FILE`` emit run telemetry; ``--events
   FILE`` streams per-epoch JSONL events, ``--health`` guards numerics,
-  ``--sample-proc`` samples process RSS/CPU).
+  ``--sample-proc`` samples process RSS/CPU, ``--serve-metrics PORT``
+  exposes the live registry over HTTP, ``--rules FILE`` evaluates
+  declarative SLO rules each epoch).
+* ``top`` — live terminal view of an in-progress run: tails the
+  epoch-event JSONL, optionally scrapes a ``--serve-metrics`` endpoint,
+  and gates on SLO rules (``--check``).
 * ``dashboard`` — render an epoch-event log (plus optional run report
   and bench history) into one self-contained offline HTML page.
 * ``bench-parallel`` — worker-count sweep of the chunk executor
@@ -61,21 +66,25 @@ def _configure_logging(verbosity: int) -> None:
 @contextlib.contextmanager
 def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = None):
     """Enable run telemetry when ``--trace``/``--json``/``--perfetto``/
-    ``--sample-proc`` was given.
+    ``--sample-proc``/``--serve-metrics`` was given.
 
     Yields the live tracer (or None when telemetry stays off) and, on
     exit, writes the JSONL trace, the run-report JSON, and/or the
     Perfetto (Chrome trace-event) file.  ``--sample-proc`` additionally
     runs the background resource sampler for the block and prints a
-    peak-RSS / mean-CPU summary.
+    peak-RSS / mean-CPU summary.  ``--serve-metrics PORT`` activates
+    telemetry on its own and serves the live registry over HTTP
+    (``/metrics`` Prometheus text, ``/snapshot.json`` deltas) for the
+    duration of the block; port 0 binds an ephemeral port.
 
     ``extras`` is a mutable dict the caller may fill *inside* the block
-    (keys ``events`` and ``sparsity``); it is read on exit so the run
-    report can embed the epoch-event records and sparsity profile.  When
-    ``--history FILE`` is given (bench commands that append a perf-history
-    row), telemetry activates even without an output flag and the built
-    run report is stashed back into ``extras["report"]`` so the caller
-    can derive a :class:`~repro.obs.history.HistoryEntry` from it.
+    (keys ``events``, ``sparsity``, and ``alerts``); it is read on exit
+    so the run report can embed the epoch-event records, sparsity
+    profile, and SLO rule-engine verdict.  When ``--history FILE`` is
+    given (bench commands that append a perf-history row), telemetry
+    activates even without an output flag and the built run report is
+    stashed back into ``extras["report"]`` so the caller can derive a
+    :class:`~repro.obs.history.HistoryEntry` from it.
     """
     from . import obs
 
@@ -84,21 +93,38 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
     perfetto_path = getattr(args, "perfetto", None)
     sample_proc = getattr(args, "sample_proc", False)
     history_path = getattr(args, "history", None)
+    serve_port = getattr(args, "serve_metrics", None)
     if (
         not trace_path
         and not json_path
         and not perfetto_path
         and not sample_proc
         and not history_path
+        and serve_port is None
     ):
         yield None
         return
     tracer, metrics = obs.enable()
-    sampler = obs.ResourceSampler(metrics) if sample_proc else obs.NULL_SAMPLER
+    # --serve-metrics implies --sample-proc: a scrape without proc.*
+    # gauges answers none of the questions a live watcher asks.
+    sampler = (
+        obs.ResourceSampler(metrics)
+        if sample_proc or serve_port is not None
+        else obs.NULL_SAMPLER
+    )
     sampler.start()
+    server = obs.NULL_SERVER
+    if serve_port is not None:
+        server = obs.MetricsServer(metrics, port=serve_port)
+        server.start()
+        print(
+            f"serving live metrics on {server.url} "
+            "(/metrics, /snapshot.json)"
+        )
     try:
         yield tracer
     finally:
+        server.stop()
         sampler.stop()
         obs.disable()
         # ``extras`` may arrive as an (empty, falsy) dict the caller will
@@ -123,6 +149,7 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
                 meta=meta,
                 events=extras.get("events"),
                 sparsity=extras.get("sparsity"),
+                alerts=extras.get("alerts"),
             )
             extras["report"] = report
             if json_path:
@@ -251,9 +278,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
         event_log = EventLog(args.events, meta=meta)
     health = HealthMonitor() if args.health else None
+    rules = None
+    if args.rules:
+        from .obs.rules import RuleEngine, RuleParseError, load_rules
+
+        try:
+            rules = RuleEngine(load_rules(args.rules))
+        except (OSError, RuleParseError) as error:
+            print(f"{args.rules}: {error}", file=sys.stderr)
+            return 2
+        print(f"slo: loaded {len(rules.rules)} rule(s) from {args.rules}")
     trainer = Trainer(
         model, Adam(model, lr=args.lr), profile_sparsity=True,
         aggregation_kernel=kernel, event_log=event_log, health=health,
+        rules=rules,
     )
     extras: dict = {}
     status = 0
@@ -266,6 +304,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             finally:
                 extras["events"] = event_log
                 extras["sparsity"] = trainer.history.sparsity
+                extras["alerts"] = rules
     except HealthError as error:
         print(f"\ntraining aborted by health monitor:\n{error}", file=sys.stderr)
         status = 1
@@ -279,6 +318,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(history.sparsity.summary())
     if health is not None:
         print(health.summary())
+    if rules is not None:
+        print(rules.summary())
     return status
 
 
@@ -470,9 +511,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
 
     tracer, metrics = obs.enable()
+    server = obs.NULL_SERVER
+    if args.serve_metrics is not None:
+        server = obs.MetricsServer(metrics, port=args.serve_metrics).start()
+        print(
+            f"serving live metrics on {server.url} "
+            "(/metrics, /snapshot.json)"
+        )
     try:
         history = trainer.fit(graph, features, labels, epochs=args.epochs)
     finally:
+        server.stop()
         obs.disable()
 
     records = [
@@ -599,6 +648,64 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_events_path(path: Optional[str]) -> Optional[str]:
+    """Map a ``repro top`` PATH operand onto an epoch-event file.
+
+    A file path is used as-is (it may not exist yet — the tail waits for
+    it).  A directory is searched for ``*events*.jsonl`` first, then any
+    ``*.jsonl``, taking the most recently modified match.
+    """
+    import glob
+    import os
+
+    if path is None or not os.path.isdir(path):
+        return path
+    for pattern in ("*events*.jsonl", "*.jsonl"):
+        matches = glob.glob(os.path.join(path, pattern))
+        if matches:
+            return max(matches, key=os.path.getmtime)
+    return None
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a training run (events tail + metrics scrape)."""
+    from .obs.live import LiveRunMonitor
+    from .obs.rules import RuleEngine, RuleParseError, load_rules
+
+    events_path = _resolve_events_path(args.path)
+    if events_path is None and not args.metrics_url:
+        print(
+            f"top: no epoch-event JSONL found under {args.path!r} and no "
+            "--metrics-url; nothing to watch",
+            file=sys.stderr,
+        )
+        return 2
+    rules = None
+    if args.rules:
+        try:
+            rules = RuleEngine(load_rules(args.rules))
+        except (OSError, RuleParseError) as error:
+            print(f"{args.rules}: {error}", file=sys.stderr)
+            return 2
+    if args.check and rules is None:
+        print("top: --check needs --rules FILE", file=sys.stderr)
+        return 2
+    monitor = LiveRunMonitor(
+        events_path or "", metrics_url=args.metrics_url, rules=rules
+    )
+    if args.follow:
+        monitor.follow(
+            interval_s=args.interval, refresh_limit=args.refresh_limit
+        )
+    else:  # --once (the default): one poll, one frame
+        monitor.poll()
+        print(monitor.render())
+    if args.check and not rules.ok:
+        print(rules.summary(), file=sys.stderr)
+        return 1
+    return 0
+
+
 _EXPERIMENTS = {
     "fig2": ("fig2_gpu_sampling", True),
     "fig3": ("fig3_topdown", True),
@@ -721,6 +828,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample process RSS / CPU%% / threads in the background "
         "and publish proc.* metrics",
     )
+    p.add_argument(
+        "--serve-metrics", metavar="PORT", type=int, default=None,
+        help="serve the live metrics registry over HTTP for the run "
+        "(GET /metrics Prometheus text, GET /snapshot.json deltas); "
+        "0 binds an ephemeral port; implies --sample-proc",
+    )
+    p.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="evaluate declarative SLO rules each epoch "
+        "('[name:] metric [stat] op threshold [for K]' per line); "
+        "violations surface as alerts.* metrics, slo: event issues, "
+        "and run-report entries",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -791,6 +911,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--perfetto", metavar="FILE",
         help="write a Perfetto/chrome://tracing trace JSON",
     )
+    p.add_argument(
+        "--serve-metrics", metavar="PORT", type=int, default=None,
+        help="serve the live metrics registry over HTTP during the sweep "
+        "(0 = ephemeral port); implies --sample-proc",
+    )
     p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser(
@@ -822,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--attrib", metavar="FILE",
         help="write the bottleneck-attribution report JSON",
+    )
+    p.add_argument(
+        "--serve-metrics", metavar="PORT", type=int, default=None,
+        help="serve the live metrics registry over HTTP during the "
+        "profiled run (0 = ephemeral port)",
     )
     p.set_defaults(func=_cmd_profile)
 
@@ -874,6 +1004,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--title", default=None, help="page title")
     p.set_defaults(func=_cmd_dashboard)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a training run "
+        "(tails the epoch-event JSONL, scrapes a metrics endpoint)",
+    )
+    p.add_argument(
+        "path", nargs="?", default=None,
+        help="epoch-event JSONL from `train --events` (or a directory "
+        "containing one); may still be growing",
+    )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="refresh continuously until interrupted (default: one frame)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render exactly one frame and exit (the default)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="--follow refresh interval in seconds (default: %(default)s)",
+    )
+    p.add_argument(
+        "--refresh-limit", type=_positive_int, default=None, metavar="N",
+        help="stop --follow after N frames (default: until interrupted)",
+    )
+    p.add_argument(
+        "--metrics-url", metavar="URL", default=None,
+        help="scrape proc.*/executor.*/alerts.* gauges from a "
+        "--serve-metrics endpoint (e.g. http://127.0.0.1:9500)",
+    )
+    p.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="evaluate SLO rules per observed epoch; firing rules show "
+        "in the view",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="with --rules: exit 1 if any rule fired (CI gate)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")

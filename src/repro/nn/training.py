@@ -17,7 +17,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..kernels.base import AggregationKernel, KernelStats
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from ..tensors.compression import traffic_saved
 from ..tensors.sparsity import SparsityProfile, sparsity as sparsity_of
 from . import functional as F
@@ -27,6 +27,7 @@ from .optim import Optimizer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.events import EventLog
     from ..obs.health import HealthMonitor
+    from ..obs.rules import RuleEngine
 
 logger = logging.getLogger(__name__)
 
@@ -101,10 +102,17 @@ class Trainer:
         health: optional :class:`~repro.obs.health.HealthMonitor`; the
             epoch's numerics are checked as they are produced and a
             fail-fast monitor raises within one epoch of a NaN/Inf.
+        rules: optional :class:`~repro.obs.rules.RuleEngine`; evaluated
+            once per epoch against the registry snapshot (after this
+            epoch's ``train.*`` gauges are published), so declarative
+            SLOs like ``train.loss rate_of_change <= 0 for 3`` or
+            ``proc.rss_bytes < 2e9`` fire online.  Violations surface as
+            ``alerts.*`` metrics and ``slo:<rule>`` entries in the
+            epoch's event record.
 
-    With both left at ``None`` (the default) ``train_epoch`` takes the
-    existing zero-cost path: no norms, no sparsity measurements, no
-    event construction.
+    With all of them left at ``None`` (the default) ``train_epoch``
+    takes the existing zero-cost path: no norms, no sparsity
+    measurements, no event construction, no gauge publishing.
     """
 
     def __init__(
@@ -117,6 +125,7 @@ class Trainer:
         backward_engine: bool = True,
         event_log: Optional["EventLog"] = None,
         health: Optional["HealthMonitor"] = None,
+        rules: Optional["RuleEngine"] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -124,6 +133,7 @@ class Trainer:
         self.backward_engine = backward_engine
         self.event_log = event_log
         self.health = health
+        self.rules = rules
         if engine is not None:
             from ..kernels.base import resolve_engine
 
@@ -158,9 +168,14 @@ class Trainer:
         savings; without them no extra work happens.
         """
         tracer = get_tracer()
+        metrics = get_metrics()
         observing = self.event_log is not None or self.health is not None
+        # The live plane (train.* gauges + SLO rules) rides along when a
+        # registry is active or rules are attached; one perf_counter()
+        # read is the whole added cost on that path, zero otherwise.
+        timing = observing or metrics.enabled or self.rules is not None
         epoch_index = len(self.history.epochs)
-        start_s = time.perf_counter() if observing else 0.0
+        start_s = time.perf_counter() if timing else 0.0
         with tracer.span("epoch", epoch=epoch_index) as span:
             logits, caches = self.model.forward(
                 graph, features, training=True, kernel=self.aggregation_kernel
@@ -201,10 +216,14 @@ class Trainer:
             )
             span.set_attr("loss", float(loss))
             span.set_attr("train_accuracy", result.train_accuracy)
+            wall_time_s = time.perf_counter() - start_s if timing else 0.0
+            slo_issues: List[str] = []
+            if metrics.enabled or self.rules is not None:
+                slo_issues = self._publish_live(metrics, result, wall_time_s)
             if observing:
                 self._observe_epoch(
                     graph, result, logits, grads, caches, layer_sparsity,
-                    time.perf_counter() - start_s,
+                    wall_time_s, slo_issues,
                 )
         self.history.epochs.append(result)
         logger.debug(
@@ -215,6 +234,52 @@ class Trainer:
         )
         return result
 
+    def _publish_live(
+        self, metrics, result: EpochResult, wall_time_s: float
+    ) -> List[str]:
+        """Publish this epoch's ``train.*`` plane and run the SLO rules.
+
+        The gauges make the loss/accuracy trajectory scrapable through a
+        live :class:`~repro.obs.live.MetricsServer`; the rule engine is
+        then evaluated against the full registry snapshot (so one rule
+        file can mix ``train.*``, ``proc.*``, and ``kernel.*`` terms).
+        Returns the fired rules as ``slo:<name>`` issue strings for the
+        epoch's event record.
+        """
+        if metrics.enabled:
+            metrics.set_gauge("train.epoch", float(result.epoch))
+            metrics.set_gauge("train.loss", float(result.loss))
+            metrics.set_gauge(
+                "train.train_accuracy", float(result.train_accuracy)
+            )
+            if result.val_accuracy is not None:
+                metrics.set_gauge(
+                    "train.val_accuracy", float(result.val_accuracy)
+                )
+            metrics.set_gauge("train.wall_time_s", wall_time_s)
+            metrics.observe("train.epoch_time_s", wall_time_s)
+        if self.rules is None:
+            return []
+        if metrics.enabled:
+            snapshot = metrics.snapshot()
+        else:  # rules without a live registry still see the train.* plane
+            snapshot = {
+                "train.epoch": {"type": "gauge", "value": float(result.epoch)},
+                "train.loss": {"type": "gauge", "value": float(result.loss)},
+                "train.train_accuracy": {
+                    "type": "gauge", "value": float(result.train_accuracy),
+                },
+                "train.wall_time_s": {"type": "gauge", "value": wall_time_s},
+            }
+            if result.val_accuracy is not None:
+                snapshot["train.val_accuracy"] = {
+                    "type": "gauge", "value": float(result.val_accuracy),
+                }
+        alerts = self.rules.evaluate(snapshot)
+        for alert in alerts:
+            logger.warning("slo: %s", alert.message)
+        return [f"slo:{alert.rule}" for alert in alerts]
+
     def _observe_epoch(
         self,
         graph: CSRGraph,
@@ -224,6 +289,7 @@ class Trainer:
         caches,
         layer_sparsity: "dict[int, float]",
         wall_time_s: float,
+        slo_issues: Optional[List[str]] = None,
     ) -> None:
         """Build and publish this epoch's event/health telemetry.
 
@@ -239,7 +305,7 @@ class Trainer:
         weight_norms = self.model.weight_norms()
         compression = self._compression_savings(graph, caches, layer_sparsity)
         health_error: Optional[HealthError] = None
-        issues: List[str] = []
+        issues: List[str] = list(slo_issues or [])
         if self.health is not None:
             try:
                 found = self.health.check_epoch(

@@ -60,6 +60,7 @@ from .events import (
     EVENTS_SCHEMA_VERSION,
     EpochEvent,
     EventLog,
+    EventTail,
     read_events,
     validate_epoch_event,
     validate_events,
@@ -91,6 +92,17 @@ from .history import (
     entry_from_run_report,
     load_history,
 )
+from .live import (
+    NULL_SERVER,
+    LiveRunMonitor,
+    MetricsServer,
+    NullMetricsServer,
+    delta_snapshot,
+    prometheus_name,
+    render_prometheus,
+    scrape_snapshot,
+    sparkline,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -99,6 +111,15 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     publish_counters,
+)
+from .rules import (
+    Alert,
+    Rule,
+    RuleEngine,
+    RuleParseError,
+    load_rules,
+    parse_rule,
+    parse_rules,
 )
 from .report import (
     REPORT_SCHEMA_VERSION,
@@ -187,39 +208,56 @@ __all__ = [
     "entry_from_bench_results",
     "entry_from_run_report",
     "load_history",
+    "Alert",
     "Counter",
     "EVENTS_SCHEMA_VERSION",
     "EpochEvent",
     "EventLog",
+    "EventTail",
     "FATAL_KINDS",
     "Gauge",
     "HealthError",
     "HealthIssue",
     "HealthMonitor",
     "Histogram",
+    "LiveRunMonitor",
     "MetricsRegistry",
+    "MetricsServer",
+    "NullMetricsServer",
     "NullRegistry",
     "NullResourceSampler",
     "NullTracer",
     "NULL_REGISTRY",
     "NULL_SAMPLER",
+    "NULL_SERVER",
     "NULL_TRACER",
     "ResourceSampler",
+    "Rule",
+    "RuleEngine",
+    "RuleParseError",
     "REPORT_SCHEMA_VERSION",
     "Span",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "build_dashboard",
     "build_run_report",
+    "delta_snapshot",
     "disable",
     "enable",
     "environment_info",
     "get_metrics",
     "get_tracer",
+    "load_rules",
+    "parse_rule",
+    "parse_rules",
+    "prometheus_name",
     "publish_counters",
     "read_events",
     "read_trace",
+    "render_prometheus",
     "render_span_tree",
+    "scrape_snapshot",
+    "sparkline",
     "set_metrics",
     "set_tracer",
     "span_tree",

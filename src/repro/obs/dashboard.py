@@ -427,10 +427,86 @@ def _stat_tiles(
     return f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
 
 
+def _alerts_section(
+    events: List[Dict[str, Any]], report: Optional[Dict[str, Any]]
+) -> str:
+    """SLO verdict: the rule set, what fired, and when (by epoch).
+
+    Reads the run report's ``alerts`` entry (a
+    :class:`~repro.obs.rules.RuleEngine` dump) when present, and falls
+    back to the ``slo:<rule>`` markers the trainer folds into each
+    epoch's ``health_issues`` when only an event log is available.
+    """
+    doc = (report or {}).get("alerts")
+    parts: List[str] = []
+    if doc:
+        rules = doc.get("rules") or []
+        fired = doc.get("alerts") or []
+        verdict = "ok" if doc.get("ok") else f"{len(fired)} alert(s)"
+        parts.append(
+            "<h2>SLO rules</h2>"
+            f"<p class='sub'>{len(rules)} rule(s), "
+            f"{doc.get('evaluations', 0)} evaluation(s) — "
+            f"{html.escape(verdict)}</p>"
+        )
+        rows = []
+        fired_by_rule: Dict[str, int] = {}
+        for alert in fired:
+            fired_by_rule[alert.get("rule", "?")] = (
+                fired_by_rule.get(alert.get("rule", "?"), 0) + 1
+            )
+        for rule in rules:
+            stat = rule.get("stat", "value")
+            condition = " ".join(
+                [rule.get("metric", "?")]
+                + ([stat] if stat != "value" else [])
+                + [rule.get("op", "?"), _fmt(rule.get("threshold", 0.0))]
+            )
+            rows.append(
+                [
+                    rule.get("name", "?"),
+                    condition,
+                    str(rule.get("for_count", 1)),
+                    str(fired_by_rule.get(rule.get("name"), 0)),
+                ]
+            )
+        parts.append(
+            _data_table(
+                ["rule", "condition", "for", "fired"], rows, summary="rule set"
+            )
+        )
+        if fired:
+            items = "".join(
+                "<li>"
+                + html.escape(
+                    f"{a.get('rule')}: {a.get('metric')} = "
+                    f"{_fmt(a.get('value', 0.0))} violates "
+                    f"{a.get('op')} {_fmt(a.get('threshold', 0.0))} "
+                    f"(evaluation {a.get('evaluation')})"
+                )
+                + "</li>"
+                for a in fired
+            )
+            parts.append(f"<ul class='issues'>{items}</ul>")
+        return "".join(parts)
+    # Event-log-only fallback: the slo:<rule> health markers.
+    lines = []
+    for event in events:
+        for kind in event.get("health_issues") or []:
+            if isinstance(kind, str) and kind.startswith("slo:"):
+                lines.append(f"epoch {event.get('epoch')}: {kind[4:]}")
+    if not lines:
+        return ""
+    items = "".join(f"<li>{html.escape(line)}</li>" for line in lines)
+    return f"<h2>SLO alerts</h2><ul class='issues'>{items}</ul>"
+
+
 def _health_section(events: List[Dict[str, Any]]) -> str:
     lines = []
     for event in events:
         for kind in event.get("health_issues") or []:
+            if isinstance(kind, str) and kind.startswith("slo:"):
+                continue  # shown in the SLO section instead
             lines.append(f"epoch {event.get('epoch')}: {kind}")
     if not lines:
         return ""
@@ -580,6 +656,7 @@ def build_dashboard(
     sections: List[str] = []
     sections.append(_stat_tiles(events, report))
     sections.append(_health_section(events))
+    sections.append(_alerts_section(events, report))
     charts = _event_charts(events) if events else []
     if report:
         technique = _technique_chart(report)

@@ -148,12 +148,71 @@ def read_events(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
 
     Python's JSON reader accepts the bare ``NaN``/``Infinity`` tokens a
     NaN'd run writes, so a diverged log stays loadable.
+
+    A *truncated final line* — the partially flushed write of a run
+    that is still in flight or was killed mid-``write`` — is tolerated:
+    the complete prefix is returned.  A malformed line anywhere *before*
+    the end is still an error (real corruption, not a live tail).
     """
     with open(path) as handle:
-        lines = [json.loads(line) for line in handle if line.strip()]
+        raw = [line for line in handle if line.strip()]
+    lines: List[Dict[str, Any]] = []
+    for index, line in enumerate(raw):
+        try:
+            lines.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if index == len(raw) - 1:
+                break  # live run's partial flush — yield the prefix
+            raise ValueError(
+                f"{path}: malformed JSON on line {index + 1}: {error}"
+            ) from error
     if not lines or lines[0].get("kind") != "events_header":
         raise ValueError(f"{path}: not an event log (missing events_header)")
     return lines[0], [rec for rec in lines[1:] if rec.get("kind") == "epoch"]
+
+
+class EventTail:
+    """Incremental reader of a growing epoch-event log.
+
+    Built for the live monitor: each :meth:`read_new` picks up where
+    the previous one stopped (byte offset), returns only the *complete*
+    new records, and leaves a partially flushed final line on disk for
+    the next poll.  The header (once seen) is kept on ``self.header``.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.header: Optional[Dict[str, Any]] = None
+        self._offset = 0
+
+    def read_new(self) -> List[Dict[str, Any]]:
+        """Complete epoch records appended since the last call."""
+        try:
+            # Binary mode: byte offsets stay exact under any encoding,
+            # unlike text-mode seek/tell cookies.
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return []
+        records: List[Dict[str, Any]] = []
+        consumed = 0
+        for line in chunk.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # incomplete flush — re-read next poll
+            consumed += len(line)
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # malformed complete line: skip, don't wedge the tail
+            if self.header is None and record.get("kind") == "events_header":
+                self.header = record
+            elif record.get("kind") == "epoch":
+                records.append(record)
+        self._offset += consumed
+        return records
 
 
 def _check_norm_map(record: Dict[str, Any], key: str, problems: List[str]) -> None:

@@ -1,0 +1,557 @@
+"""Live telemetry plane: metrics exposition endpoint + run monitor.
+
+Everything else in :mod:`repro.obs` is post-hoc — spans, reports, and
+dashboards exist only after the run finished.  This module observes a
+run *while it is in flight*:
+
+* :class:`MetricsServer` — a background stdlib ``http.server`` that
+  renders the active :class:`~repro.obs.metrics.MetricsRegistry` at
+  ``/metrics`` (Prometheus text exposition format, version 0.0.4) and
+  ``/snapshot.json`` (the raw snapshot plus a *delta view*: per-counter
+  rates computed between consecutive scrapes, per-gauge staleness age,
+  histogram p50/p95/p99).  ``repro train --serve-metrics PORT`` starts
+  one for the duration of the run.
+* :class:`LiveRunMonitor` — tails the schema-versioned epoch-event
+  JSONL of an in-progress run (tolerating the partially flushed final
+  line) and renders a refreshing terminal view: loss/accuracy trend
+  sparklines, per-layer gradient norms, ``proc.*`` resource gauges
+  (scraped from a ``MetricsServer`` or read from an in-process
+  registry), the executor's live queue phase, and any firing SLO rules
+  (:mod:`repro.obs.rules`).  ``repro top --follow run.jsonl`` drives it.
+
+Both follow the package's null-object contract: :data:`NULL_SERVER`
+answers ``start``/``stop`` with no-ops, never opens a socket, and never
+spawns a thread, so a run without ``--serve-metrics`` pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import threading
+import time
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional
+
+from .events import EventTail
+from .rules import RuleEngine
+
+logger = logging.getLogger(__name__)
+
+#: Prefix every exposed Prometheus metric name carries.
+PROMETHEUS_PREFIX = "repro_"
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: A gauge older than this (seconds) is flagged stale in live views.
+DEFAULT_STALE_AFTER_S = 5.0
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+def prometheus_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus charset.
+
+    ``kernel.basic.gathers`` -> ``repro_kernel_basic_gathers``; any
+    character outside ``[a-zA-Z0-9_:]`` becomes ``_``.
+    """
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    return PROMETHEUS_PREFIX + sanitized
+
+
+def _prom_number(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    Counters expose ``<name>_total``; gauges expose ``<name>``;
+    histograms expose a summary — ``{quantile="0.5|0.95|0.99"}`` series
+    plus ``_sum`` / ``_count`` — from the registry's own percentile
+    estimates.  Every family carries ``# HELP`` (the original dotted
+    name) and ``# TYPE`` lines, and the document ends with ``# EOF``-
+    less plain text exactly as the 0.0.4 format expects.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        doc = snapshot[name]
+        kind = doc.get("type")
+        base = prometheus_name(name)
+        if kind == "counter":
+            lines.append(f"# HELP {base}_total registry counter {name}")
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_prom_number(doc.get('value'))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} registry gauge {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prom_number(doc.get('value'))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {base} registry histogram {name}")
+            lines.append(f"# TYPE {base} summary")
+            for q_key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                lines.append(
+                    f'{base}{{quantile="{quantile}"}} '
+                    f"{_prom_number(doc.get(q_key))}"
+                )
+            lines.append(f"{base}_sum {_prom_number(doc.get('total'))}")
+            count = doc.get("count", 0)
+            lines.append(f"{base}_count {_prom_number(count)}")
+        else:  # unknown metric kind: expose the value as an untyped sample
+            lines.append(f"# TYPE {base} untyped")
+            lines.append(f"{base} {_prom_number(doc.get('value'))}")
+    return "\n".join(lines) + "\n"
+
+
+def delta_snapshot(
+    current: Mapping[str, Mapping[str, Any]],
+    previous: Optional[Mapping[str, Mapping[str, Any]]],
+    elapsed_s: Optional[float],
+    now_monotonic: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The ``/snapshot.json`` document: snapshot + between-scrape deltas.
+
+    Each counter gains ``rate_per_s`` (delta over the elapsed time since
+    the previous scrape; ``None`` on the first one), each gauge gains
+    ``age_s`` (seconds since its last write, from the monotonic update
+    timestamp — a dead sampler thread shows up as a growing age), and
+    histograms carry their p50/p95/p99 through unchanged.
+    """
+    now = time.monotonic() if now_monotonic is None else now_monotonic
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for name, doc in current.items():
+        out = dict(doc)
+        kind = doc.get("type")
+        if kind == "counter":
+            rate = None
+            if previous is not None and elapsed_s and elapsed_s > 0:
+                before = (previous.get(name) or {}).get("value")
+                if isinstance(before, (int, float)):
+                    rate = (float(doc.get("value", 0.0)) - float(before)) / elapsed_s
+            out["rate_per_s"] = rate
+        elif kind == "gauge":
+            updated = doc.get("updated_monotonic")
+            out["age_s"] = (
+                max(0.0, now - updated) if isinstance(updated, (int, float)) else None
+            )
+        metrics[name] = out
+    return {
+        "monotonic": now,
+        "elapsed_s": elapsed_s,
+        "metrics": metrics,
+    }
+
+
+# ----------------------------------------------------------------------
+# Exposition endpoint
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the owning :class:`MetricsServer`."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(owner.registry.snapshot()).encode()
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/snapshot.json":
+            body = json.dumps(
+                owner.delta_snapshot(), allow_nan=True
+            ).encode()
+            self._reply(200, "application/json", body)
+        elif path in ("/", "/healthz"):
+            body = (
+                "repro live metrics endpoint\n"
+                "GET /metrics       Prometheus text exposition\n"
+                "GET /snapshot.json snapshot with between-scrape deltas\n"
+            ).encode()
+            self._reply(200, "text/plain; charset=utf-8", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("metrics-server: " + format, *args)
+
+
+class MetricsServer:
+    """Background HTTP exposition of a live metrics registry.
+
+    Binds ``host:port`` (``port=0`` picks an ephemeral port, reported by
+    :attr:`port` / :attr:`url` after :meth:`start`) and serves scrapes
+    from a daemon thread, so the instrumented run is never blocked.
+    Usable as a context manager.
+    """
+
+    enabled = True
+
+    def __init__(self, registry, port: int = 0, host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._scrape_lock = threading.Lock()
+        self._last_snapshot: Optional[Dict[str, Dict[str, Any]]] = None
+        self._last_monotonic: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (None before :meth:`start`)."""
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> Optional[str]:
+        return f"http://{self.host}:{self.port}" if self._httpd else None
+
+    def delta_snapshot(self) -> Dict[str, Any]:
+        """Snapshot + deltas vs the previous scrape (advances the state)."""
+        now = time.monotonic()
+        current = self.registry.snapshot()
+        with self._scrape_lock:
+            elapsed = (
+                now - self._last_monotonic
+                if self._last_monotonic is not None
+                else None
+            )
+            document = delta_snapshot(current, self._last_snapshot, elapsed, now)
+            self._last_snapshot = current
+            self._last_monotonic = now
+        return document
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsServer":
+        """Bind the socket and spawn the serving thread (idempotent)."""
+        if self._httpd is None:
+            httpd = ThreadingHTTPServer(
+                (self.host, self._requested_port), _Handler
+            )
+            httpd.daemon_threads = True
+            httpd.owner = self  # type: ignore[attr-defined]
+            self._httpd = httpd
+            self._thread = threading.Thread(
+                target=httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+            logger.info("metrics server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class NullMetricsServer:
+    """Disabled endpoint: no socket, no thread, no scrape state."""
+
+    enabled = False
+    port = None
+    url = None
+
+    def start(self) -> "NullMetricsServer":
+        return self
+
+    def stop(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullMetricsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SERVER = NullMetricsServer()
+
+
+def scrape_snapshot(url: str, timeout_s: float = 2.0) -> Dict[str, Any]:
+    """GET ``<url>/snapshot.json`` and return the parsed document."""
+    target = url.rstrip("/") + "/snapshot.json"
+    with urllib.request.urlopen(target, timeout=timeout_s) as response:
+        return json.loads(response.read().decode())
+
+
+# ----------------------------------------------------------------------
+# Terminal run monitor
+def sparkline(values: List[float], width: int = 40) -> str:
+    """Unicode block sparkline of the last ``width`` finite values."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        return ""
+    tail = finite[-width:]
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(tail)
+    return "".join(
+        _SPARK_BLOCKS[
+            min(len(_SPARK_BLOCKS) - 1, int((v - lo) / span * len(_SPARK_BLOCKS)))
+        ]
+        for v in tail
+    )
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None or not math.isfinite(value):
+        return "?"
+    for cut, suffix in ((1e9, "GB"), (1e6, "MB"), (1e3, "KB")):
+        if abs(value) >= cut:
+            return f"{value / cut:.1f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def _event_snapshot(event: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Pseudo registry snapshot of one epoch event's ``train.*`` plane.
+
+    Mirrors the gauges :class:`~repro.nn.training.Trainer` publishes, so
+    one rule grammar covers both the in-process epoch hook and the
+    post-hoc / cross-process monitor replay.
+    """
+    snapshot = {
+        "train.epoch": {"type": "gauge", "value": float(event.get("epoch", 0))},
+        "train.loss": {"type": "gauge", "value": event.get("loss")},
+        "train.train_accuracy": {
+            "type": "gauge", "value": event.get("train_accuracy"),
+        },
+        "train.wall_time_s": {
+            "type": "gauge", "value": event.get("wall_time_s"),
+        },
+    }
+    if event.get("val_accuracy") is not None:
+        snapshot["train.val_accuracy"] = {
+            "type": "gauge", "value": event.get("val_accuracy"),
+        }
+    return snapshot
+
+
+class LiveRunMonitor:
+    """Terminal view of an in-progress (or finished) training run.
+
+    Args:
+        events_path: the run's epoch-event JSONL (may still be growing).
+        metrics_url: base URL of a :class:`MetricsServer` to scrape for
+            ``proc.*`` / ``executor.*`` gauges (cross-process case).
+        registry: an in-process registry to read instead of scraping.
+        rules: optional :class:`~repro.obs.rules.RuleEngine`; evaluated
+            once per newly observed epoch (event-derived ``train.*``
+            plane merged over the scraped metrics), so ``for K`` streaks
+            advance in epochs exactly as in the trainer hook.
+        stale_after_s: gauge age beyond which the view flags STALE.
+    """
+
+    def __init__(
+        self,
+        events_path: str,
+        metrics_url: Optional[str] = None,
+        registry=None,
+        rules: Optional[RuleEngine] = None,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    ) -> None:
+        self.tail = EventTail(events_path)
+        self.metrics_url = metrics_url
+        self.registry = registry
+        self.rules = rules
+        self.stale_after_s = stale_after_s
+        self.events: List[Dict[str, Any]] = []
+        self.metrics: Dict[str, Dict[str, Any]] = {}
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+    def _scrape(self) -> Dict[str, Dict[str, Any]]:
+        if self.registry is not None:
+            now = time.monotonic()
+            return delta_snapshot(self.registry.snapshot(), None, None, now)[
+                "metrics"
+            ]
+        if self.metrics_url:
+            try:
+                return scrape_snapshot(self.metrics_url).get("metrics", {})
+            except (OSError, ValueError) as error:
+                logger.debug("scrape failed: %s", error)
+        return {}
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Ingest new events + a metrics scrape; evaluate rules per epoch."""
+        self.polls += 1
+        new_events = self.tail.read_new()
+        self.metrics = self._scrape()
+        if self.rules is not None:
+            if new_events:
+                for event in new_events:
+                    merged = dict(self.metrics)
+                    merged.update(_event_snapshot(event))
+                    self.rules.evaluate(merged)
+            elif not self.events and self.metrics:
+                # No event stream at all: pure metrics monitoring.
+                self.rules.evaluate(self.metrics)
+        self.events.extend(new_events)
+        return new_events
+
+    # ------------------------------------------------------------------
+    def _gauge(self, name: str) -> Optional[float]:
+        doc = self.metrics.get(name)
+        value = doc.get("value") if doc else None
+        return float(value) if isinstance(value, (int, float)) else None
+
+    def _gauge_age(self, name: str) -> Optional[float]:
+        doc = self.metrics.get(name)
+        age = doc.get("age_s") if doc else None
+        return float(age) if isinstance(age, (int, float)) else None
+
+    def render(self) -> str:
+        """One frame of the live view (plain text, no ANSI)."""
+        lines: List[str] = []
+        meta = (self.tail.header or {}).get("run") or {}
+        title = " ".join(
+            f"{key}={value}"
+            for key, value in meta.items()
+            if value is not None and key in
+            ("command", "dataset", "model", "epochs", "workers", "backend", "engine")
+        )
+        lines.append(f"== repro top == {title}".rstrip())
+
+        if self.events:
+            last = self.events[-1]
+            losses = [e.get("loss") for e in self.events]
+            accs = [e.get("train_accuracy") for e in self.events]
+            val = last.get("val_accuracy")
+            lines.append(
+                f"epoch {last.get('epoch'):>4}  "
+                f"loss {last.get('loss'):.4f}  "
+                f"acc {last.get('train_accuracy'):.3f}"
+                + (f"  val {val:.3f}" if val is not None else "")
+                + f"  {last.get('wall_time_s', 0.0):.3f}s/epoch"
+            )
+            lines.append(f"loss  {sparkline(losses)}")
+            lines.append(f"acc   {sparkline(accs)}")
+            grad_norms = last.get("grad_norms") or {}
+            if grad_norms:
+                cells = []
+                for layer in sorted(grad_norms, key=str):
+                    entry = grad_norms[layer] or {}
+                    weight = entry.get("weight")
+                    if isinstance(weight, (int, float)):
+                        cells.append(f"L{layer}:{weight:.3g}")
+                if cells:
+                    lines.append("grad|w| " + "  ".join(cells))
+            issues = [
+                f"epoch {e.get('epoch')}: {kind}"
+                for e in self.events
+                for kind in (e.get("health_issues") or [])
+            ]
+            for issue in issues[-3:]:
+                lines.append(f"health  {issue}")
+        else:
+            lines.append("(no epoch events yet)")
+
+        rss = self._gauge("proc.rss_bytes")
+        if rss is not None:
+            cpu = self._gauge("proc.cpu_percent")
+            threads = self._gauge("proc.num_threads")
+            age = self._gauge_age("proc.rss_bytes")
+            stale = (
+                "  [STALE]"
+                if age is not None and age > self.stale_after_s
+                else ""
+            )
+            lines.append(
+                f"proc  rss {_fmt_bytes(rss)}"
+                + (f"  cpu {cpu:.0f}%" if cpu is not None else "")
+                + (f"  threads {threads:.0f}" if threads is not None else "")
+                + stale
+            )
+
+        inflight = self._gauge("executor.inflight")
+        queue_depth = self._gauge("executor.queue_depth")
+        live_epoch = self._gauge("train.epoch")
+        phase_bits = []
+        if live_epoch is not None:
+            phase_bits.append(f"epoch {live_epoch:.0f}")
+        if inflight is not None:
+            phase_bits.append(f"{inflight:.0f} worker(s) in flight")
+        if queue_depth is not None:
+            phase_bits.append(f"{queue_depth:.0f} chunk(s) queued")
+        if phase_bits:
+            lines.append("phase " + ", ".join(phase_bits))
+
+        if self.rules is not None:
+            active = self.rules.active
+            if active:
+                lines.append(f"SLO   {len(active)} rule(s) FIRING: "
+                             + ", ".join(active))
+                for alert in self.rules.alerts[-3:]:
+                    lines.append(f"  {alert.message}")
+            else:
+                lines.append(
+                    f"SLO   ok ({len(self.rules.rules)} rule(s), "
+                    f"{self.rules.evaluations} evaluation(s))"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def follow(
+        self,
+        interval_s: float = 1.0,
+        refresh_limit: Optional[int] = None,
+        stream=None,
+        clear: bool = True,
+    ) -> int:
+        """Poll + render in a loop (``repro top --follow``).
+
+        Stops after ``refresh_limit`` frames when given (testing /
+        bounded watches); otherwise runs until KeyboardInterrupt.
+        Returns the number of frames rendered.
+        """
+        import sys
+
+        stream = sys.stdout if stream is None else stream
+        frames = 0
+        try:
+            while True:
+                self.poll()
+                if clear:
+                    stream.write("\x1b[2J\x1b[H")
+                stream.write(self.render() + "\n")
+                stream.flush()
+                frames += 1
+                if refresh_limit is not None and frames >= refresh_limit:
+                    break
+                time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        return frames

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Dict, List, Mapping, Optional, Union
 
 #: Raw observations a histogram keeps for exact percentiles; beyond this
@@ -33,35 +34,68 @@ HISTOGRAM_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 class Counter:
-    """Monotonically increasing sum."""
+    """Monotonically increasing sum.
 
-    __slots__ = ("value",)
+    ``inc`` is guarded by a lock: worker threads publish into shared
+    counters, and a bare float ``+=`` is a read-modify-write that drops
+    increments under contention.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, float]:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """Last-write-wins scalar."""
+    """Last-write-wins scalar with a monotonic last-update timestamp.
 
-    __slots__ = ("value",)
+    The timestamp (``time.monotonic()`` at the last ``set``/``add``)
+    rides along in :meth:`to_dict` as ``updated_monotonic`` so live
+    views can flag stale values — e.g. a ``proc.rss_bytes`` gauge whose
+    sampler thread died keeps its last value but stops advancing.
+    """
+
+    __slots__ = ("value", "updated_monotonic", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.updated_monotonic: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+            self.updated_monotonic = time.monotonic()
+
+    def add(self, delta: float) -> None:
+        """Atomic in-place adjustment (live queue-depth style gauges)."""
+        with self._lock:
+            self.value += float(delta)
+            self.updated_monotonic = time.monotonic()
+
+    def age_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since the last update (None when never written)."""
+        if self.updated_monotonic is None:
+            return None
+        return (time.monotonic() if now is None else now) - self.updated_monotonic
 
     def to_dict(self) -> Dict[str, float]:
-        return {"type": "gauge", "value": self.value}
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "updated_monotonic": self.updated_monotonic,
+        }
 
 
 class Histogram:
@@ -72,9 +106,14 @@ class Histogram:
     take over and :meth:`percentile` interpolates inside the bucket.  The
     exported document therefore always carries p50/p95/p99 — exact for
     the typical few-hundred-observation run, bounded-error afterwards.
+
+    ``observe`` / ``percentile`` / ``to_dict`` are guarded by one lock:
+    worker threads observe concurrently while a live scrape exports, and
+    an unguarded export could otherwise iterate ``_buckets`` mid-resize
+    or see ``count`` disagree with the sample list.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_buckets")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_buckets", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
@@ -83,6 +122,7 @@ class Histogram:
         self.max = float("-inf")
         self._samples: List[float] = []
         self._buckets: Dict[int, int] = {}
+        self._lock = threading.Lock()
 
     @staticmethod
     def _bucket_of(value: float) -> int:
@@ -92,14 +132,15 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
-            self._samples.append(value)
-        bucket = self._bucket_of(value)
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+                self._samples.append(value)
+            bucket = self._bucket_of(value)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -109,6 +150,11 @@ class Histogram:
         """Value at percentile ``q`` in [0, 100]."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            return self._percentile(q)
+
+    def _percentile(self, q: float) -> float:
+        """Unlocked percentile body (callers hold ``_lock``)."""
         if self.count == 0:
             return 0.0
         # The extremes are tracked exactly; the bucket estimate would
@@ -142,17 +188,18 @@ class Histogram:
         return self.max
 
     def to_dict(self) -> Dict[str, float]:
-        out = {
-            "type": "histogram",
-            "count": self.count,
-            "total": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.mean,
-        }
-        for q in HISTOGRAM_PERCENTILES:
-            out[f"p{q:g}"] = self.percentile(q)
-        return out
+        with self._lock:
+            out = {
+                "type": "histogram",
+                "count": self.count,
+                "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "mean": self.total / self.count if self.count else 0.0,
+            }
+            for q in HISTOGRAM_PERCENTILES:
+                out[f"p{q:g}"] = self._percentile(q)
+            return out
 
 
 Metric = Union[Counter, Gauge, Histogram]

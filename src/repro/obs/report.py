@@ -68,6 +68,7 @@ def build_run_report(
     meta: Optional[Dict[str, Any]] = None,
     events: Optional[Any] = None,
     sparsity: Optional[Any] = None,
+    alerts: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Assemble the run-report document (plain dict, JSON-serializable).
 
@@ -76,7 +77,11 @@ def build_run_report(
     or a plain list of record dicts.  ``sparsity`` embeds a
     :class:`~repro.tensors.sparsity.SparsityProfile` (or its
     ``to_dict()``), so a single report joins model quality, the §2.2
-    sparsity trajectory, and the span/metric telemetry.
+    sparsity trajectory, and the span/metric telemetry.  ``alerts``
+    embeds the SLO verdict — either a
+    :class:`~repro.obs.rules.RuleEngine` (its ``to_dict()`` is taken) or
+    a pre-built dict — so a report alone answers "did the run stay
+    inside its envelope".
     """
     records = (
         [span.to_record() for span in sorted(tracer.spans(), key=lambda s: s.span_id)]
@@ -99,6 +104,10 @@ def build_run_report(
     if sparsity is not None:
         report["sparsity"] = (
             sparsity.to_dict() if hasattr(sparsity, "to_dict") else dict(sparsity)
+        )
+    if alerts is not None:
+        report["alerts"] = (
+            alerts.to_dict() if hasattr(alerts, "to_dict") else dict(alerts)
         )
     return report
 

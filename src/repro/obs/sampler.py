@@ -9,8 +9,10 @@ every ``interval_s`` and publishes into the active metrics registry:
 * ``proc.rss_bytes`` (gauge, last sample) and ``proc.rss_bytes.samples``
   (histogram — min/mean/max/percentiles over the run);
 * ``proc.cpu_percent`` (gauge) and ``proc.cpu_percent.samples``
-  (histogram) — process CPU time delta over wall delta, so 400 means
-  four saturated cores;
+  (histogram) — process CPU time *delta between consecutive samples*
+  over the wall delta, so 400 means four saturated cores right now;
+* ``proc.cpu_seconds`` (gauge) — cumulative user+system CPU time, the
+  raw monotone quantity the percent is differentiated from;
 * ``proc.num_threads`` (gauge);
 * ``proc.samples`` (counter).
 
@@ -108,11 +110,13 @@ class ResourceSampler:
         sample = {
             "rss_bytes": _rss_bytes(),
             "cpu_percent": cpu_percent,
+            "cpu_seconds": cpu,
             "num_threads": _num_threads(),
         }
         registry = self.registry
         registry.set_gauge("proc.rss_bytes", sample["rss_bytes"])
         registry.set_gauge("proc.cpu_percent", sample["cpu_percent"])
+        registry.set_gauge("proc.cpu_seconds", sample["cpu_seconds"])
         registry.set_gauge("proc.num_threads", sample["num_threads"])
         registry.observe("proc.rss_bytes.samples", sample["rss_bytes"])
         registry.observe("proc.cpu_percent.samples", sample["cpu_percent"])

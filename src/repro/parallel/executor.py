@@ -133,13 +133,31 @@ class ChunkExecutor:
             for name, (shape, dtype) in workload.output_specs().items()
         }
         assignment = assign_chunks(plan, self.workers)
+        # Live-plane gauges: a scrape mid-run sees how much of the plan
+        # is still queued and how many workers are busy.  Zero-cost when
+        # the registry is the null singleton (queue_gauge stays None and
+        # workers never touch it).
+        metrics = get_metrics()
+        queue_gauge = None
+        if metrics.enabled:
+            queue_gauge = metrics.gauge("executor.queue_depth")
+            queue_gauge.set(float(plan.num_chunks))
+            metrics.set_gauge(
+                "executor.inflight",
+                float(sum(1 for chunks in assignment if chunks)),
+            )
         wall_start = time.perf_counter()
-        if self.backend == "process" and plan.num_chunks:
-            reports = self._run_process(workload, assignment, outputs)
-        elif self.backend == "thread" and self.workers > 1:
-            reports = self._run_threads(workload, assignment, outputs)
-        else:
-            reports = self._run_serial(workload, assignment, outputs)
+        try:
+            if self.backend == "process" and plan.num_chunks:
+                reports = self._run_process(workload, assignment, outputs)
+            elif self.backend == "thread" and self.workers > 1:
+                reports = self._run_threads(workload, assignment, outputs, queue_gauge)
+            else:
+                reports = self._run_serial(workload, assignment, outputs, queue_gauge)
+        finally:
+            if metrics.enabled:
+                metrics.set_gauge("executor.queue_depth", 0.0)
+                metrics.set_gauge("executor.inflight", 0.0)
         wall_time = time.perf_counter() - wall_start
 
         reports.sort(key=lambda report: report.worker_id)
@@ -213,6 +231,7 @@ class ChunkExecutor:
         worker_id: int,
         chunks: List[Chunk],
         outputs: Dict[str, np.ndarray],
+        queue_gauge=None,
     ) -> WorkerReport:
         """Run one worker's chunk list in-process, writing disjoint rows."""
         start = time.perf_counter()
@@ -220,6 +239,8 @@ class ChunkExecutor:
         vertices = 0
         for chunk in chunks:
             writes, chunk_stats = workload.run_chunk(chunk)
+            if queue_gauge is not None:
+                queue_gauge.add(-1.0)
             for name, (idx, rows) in writes.items():
                 count = len(idx)
                 if count > 1 and int(idx[-1]) - int(idx[0]) == count - 1 and bool(
@@ -241,21 +262,27 @@ class ChunkExecutor:
             stats=stats,
         )
 
-    def _run_serial(self, workload, assignment, outputs) -> List[WorkerReport]:
+    def _run_serial(
+        self, workload, assignment, outputs, queue_gauge=None
+    ) -> List[WorkerReport]:
         workload.prepare()
         return [
-            self._consume(workload, worker_id, chunks, outputs)
+            self._consume(workload, worker_id, chunks, outputs, queue_gauge)
             for worker_id, chunks in enumerate(assignment)
         ]
 
-    def _run_threads(self, workload, assignment, outputs) -> List[WorkerReport]:
+    def _run_threads(
+        self, workload, assignment, outputs, queue_gauge=None
+    ) -> List[WorkerReport]:
         workload.prepare()  # workers share the read-only runtime state
         reports: List[Optional[WorkerReport]] = [None] * self.workers
         errors: List[BaseException] = []
 
         def body(worker_id: int, chunks: List[Chunk]) -> None:
             try:
-                reports[worker_id] = self._consume(workload, worker_id, chunks, outputs)
+                reports[worker_id] = self._consume(
+                    workload, worker_id, chunks, outputs, queue_gauge
+                )
             except BaseException as exc:  # surface worker failures
                 errors.append(exc)
 

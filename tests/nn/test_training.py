@@ -186,8 +186,8 @@ class TestTrainerObservability:
         assert "non_finite" in log.events[0]["health_issues"]
 
     def test_default_trainer_pays_nothing(self, community_task, monkeypatch):
-        # With event_log and health left off, the observation hook and
-        # the norm capture must never run.
+        # With event_log, health, and rules left off, the observation
+        # hook, the live publisher, and the norm capture must never run.
         from repro.nn.model import GNNModel
 
         graph, features, labels = community_task
@@ -198,9 +198,80 @@ class TestTrainerObservability:
             raise AssertionError("observability ran on the default path")
 
         monkeypatch.setattr(trainer, "_observe_epoch", boom)
+        monkeypatch.setattr(trainer, "_publish_live", boom)
         monkeypatch.setattr(GNNModel, "grad_norms", staticmethod(boom))
         monkeypatch.setattr(GNNModel, "weight_norms", boom)
         trainer.train_epoch(graph, features, labels)
+
+
+class TestTrainerLiveTelemetry:
+    def test_train_gauges_published(self, community_task):
+        from repro import obs
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=5)
+        trainer = Trainer(model, SGD(model, lr=0.1))
+        _, metrics = obs.enable()
+        try:
+            result = trainer.train_epoch(graph, features, labels)
+            trainer.train_epoch(graph, features, labels)
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snap["train.epoch"]["value"] == 1.0  # last epoch wins
+        assert snap["train.loss"]["value"] > 0.0
+        assert 0.0 <= snap["train.train_accuracy"]["value"] <= 1.0
+        assert snap["train.wall_time_s"]["value"] > 0.0
+        assert snap["train.epoch_time_s"]["count"] == 2
+        assert result.loss > 0.0
+
+    def test_rules_fire_and_mark_events(self, community_task, tmp_path):
+        from repro.obs.rules import RuleEngine
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=5)
+        log = EventLog(str(tmp_path / "run.jsonl"))
+        rules = RuleEngine("loss_cap: train.loss < 1e-6")
+        trainer = Trainer(
+            model, SGD(model, lr=0.1), event_log=log, rules=rules
+        )
+        trainer.train_epoch(graph, features, labels)
+        trainer.train_epoch(graph, features, labels)
+        log.close()
+        assert not rules.ok
+        assert rules.evaluations == 2
+        # Fired rules ride along as slo: markers in the event stream.
+        assert log.events[0]["health_issues"] == ["slo:loss_cap"]
+        validate_events(log.events)
+
+    def test_rules_without_registry_see_train_plane(self, community_task):
+        # No telemetry enabled: the trainer synthesizes the train.*
+        # snapshot so rules still evaluate.
+        from repro.obs.rules import RuleEngine
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=5)
+        rules = RuleEngine(
+            "loss_cap: train.loss < 1e-6\nrss: proc.rss_bytes < 1"
+        )
+        trainer = Trainer(model, SGD(model, lr=0.1), rules=rules)
+        trainer.train_epoch(graph, features, labels)
+        assert rules.active == ["loss_cap"]  # proc.* absent -> skipped
+
+    def test_compliant_rules_stay_quiet(self, community_task, tmp_path):
+        from repro.obs.rules import RuleEngine
+
+        graph, features, labels = community_task
+        model = build_model("gcn", 8, 8, 3, num_layers=2, seed=5)
+        log = EventLog(None)
+        rules = RuleEngine("loss_cap: train.loss < 1e9")
+        trainer = Trainer(
+            model, SGD(model, lr=0.1), event_log=log, rules=rules
+        )
+        trainer.train_epoch(graph, features, labels)
+        log.close()
+        assert rules.ok
+        assert log.events[0]["health_issues"] == []
 
 
 class TestInference:

@@ -135,6 +135,51 @@ class TestBuildDashboard:
     def test_no_health_section_when_clean(self, events):
         assert "Health findings" not in build_dashboard(events=events)
 
+    def test_alerts_section_from_report(self, events):
+        report = {
+            "spans": [],
+            "metrics": {},
+            "alerts": {
+                "rules": [
+                    {"name": "loss_cap", "metric": "train.loss",
+                     "stat": "value", "op": "<", "threshold": 1e-6,
+                     "for_count": 1},
+                ],
+                "evaluations": 4,
+                "alerts": [
+                    {"rule": "loss_cap", "metric": "train.loss",
+                     "stat": "value", "op": "<", "threshold": 1e-6,
+                     "value": 2.1, "consecutive": 1, "evaluation": 1},
+                ],
+                "active": ["loss_cap"],
+                "ok": False,
+            },
+        }
+        html = build_dashboard(events=events, report=report)
+        assert "SLO rules" in html
+        assert "loss_cap" in html
+        assert "1 alert(s)" in html
+
+    def test_alerts_section_ok_report(self, events):
+        report = {
+            "spans": [], "metrics": {},
+            "alerts": {"rules": [], "evaluations": 2, "alerts": [],
+                       "active": [], "ok": True},
+        }
+        html = build_dashboard(events=events, report=report)
+        assert "SLO rules" in html and "ok" in html
+
+    def test_slo_markers_split_from_health(self):
+        # slo: issues render in the SLO section, not Health findings.
+        bad = make_event(
+            1, health_issues=["non_finite", "slo:loss_cap"]
+        ).to_record()
+        html = build_dashboard(events=[make_event(0).to_record(), bad])
+        assert "SLO alerts" in html
+        assert "epoch 1: loss_cap" in html
+        assert "epoch 1: non_finite" in html
+        assert "epoch 1: slo:loss_cap" not in html
+
     def test_report_only_dashboard(self):
         report = {
             "spans": [

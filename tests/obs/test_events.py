@@ -9,6 +9,7 @@ from repro.obs.events import (
     EVENTS_SCHEMA_VERSION,
     EpochEvent,
     EventLog,
+    EventTail,
     read_events,
     validate_epoch_event,
     validate_events,
@@ -82,6 +83,71 @@ class TestEventLog:
         path.write_text(json.dumps({"kind": "trace_header"}) + "\n")
         with pytest.raises(ValueError, match="events_header"):
             read_events(str(path))
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        # A run killed mid-write leaves a partial last line; the reader
+        # must return the complete prefix instead of raising.
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path) as log:
+            log.emit(make_event(0))
+            log.emit(make_event(1))
+        with open(path, "a") as handle:
+            handle.write('{"kind": "epoch", "epo')  # no newline, cut JSON
+        header, records = read_events(path)
+        assert [r["epoch"] for r in records] == [0, 1]
+
+    def test_malformed_middle_line_still_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path) as log:
+            log.emit(make_event(0))
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(make_event(1).to_record()) + "\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_events(path)
+
+
+class TestEventTail:
+    def test_incremental_reads(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        log = EventLog(path, meta={"dataset": "t"})
+        log.emit(make_event(0))
+        tail = EventTail(path)
+        assert [e["epoch"] for e in tail.read_new()] == [0]
+        assert tail.header["run"]["dataset"] == "t"
+        assert tail.read_new() == []
+        log.emit(make_event(1))
+        log.emit(make_event(2))
+        assert [e["epoch"] for e in tail.read_new()] == [1, 2]
+        log.close()
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        tail = EventTail(str(tmp_path / "missing.jsonl"))
+        assert tail.read_new() == []
+        assert tail.header is None
+
+    def test_partial_line_deferred_until_complete(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path) as log:
+            log.emit(make_event(0))
+        tail = EventTail(path)
+        assert len(tail.read_new()) == 1
+        record = json.dumps(make_event(1).to_record())
+        with open(path, "a") as handle:
+            handle.write(record[:10])  # partial write, no newline
+            handle.flush()
+        assert tail.read_new() == []  # incomplete line not consumed
+        with open(path, "a") as handle:
+            handle.write(record[10:] + "\n")
+        assert [e["epoch"] for e in tail.read_new()] == [1]
+
+    def test_file_appearing_late(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        tail = EventTail(path)
+        assert tail.read_new() == []
+        with EventLog(path) as log:
+            log.emit(make_event(0))
+        assert [e["epoch"] for e in tail.read_new()] == [0]
 
 
 class TestValidation:

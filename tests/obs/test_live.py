@@ -1,0 +1,275 @@
+"""Unit tests for the live telemetry plane (endpoint + run monitor)."""
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.events import EventLog
+from repro.obs.live import (
+    NULL_SERVER,
+    LiveRunMonitor,
+    MetricsServer,
+    delta_snapshot,
+    prometheus_name,
+    render_prometheus,
+    scrape_snapshot,
+    sparkline,
+)
+from repro.obs.events import EpochEvent
+from repro.obs.rules import RuleEngine
+
+
+def make_event(epoch=0, **overrides):
+    kwargs = dict(
+        epoch=epoch,
+        loss=1.5,
+        train_accuracy=0.4,
+        wall_time_s=0.01,
+        val_accuracy=0.35,
+        grad_norms={"0": {"weight": 0.1, "bias": 0.01, "h_in": 0.2}},
+        weight_norms={"0": {"weight": 1.0, "bias": 0.1}},
+        sparsity={"0": 0.0, "1": 0.62},
+        compression={
+            "realized_dram_bytes_saved": 0.0,
+            "predicted_dram_bytes_saved": 1024.0,
+        },
+    )
+    kwargs.update(overrides)
+    return EpochEvent(**kwargs)
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.inc("kernel.basic.gathers", 120)
+    reg.set_gauge("proc.rss_bytes", 1e6)
+    reg.observe("executor.wall_time_s", 0.5)
+    reg.observe("executor.wall_time_s", 1.5)
+    return reg
+
+
+class TestPrometheusRendering:
+    def test_name_mapping(self):
+        assert prometheus_name("kernel.basic.gathers") == (
+            "repro_kernel_basic_gathers"
+        )
+        assert prometheus_name("weird-name!") == "repro_weird_name_"
+
+    def test_families(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert "# TYPE repro_kernel_basic_gathers_total counter" in text
+        assert "repro_kernel_basic_gathers_total 120.0" in text
+        assert "# TYPE repro_proc_rss_bytes gauge" in text
+        assert "# TYPE repro_executor_wall_time_s summary" in text
+        assert 'repro_executor_wall_time_s{quantile="0.5"}' in text
+        assert "repro_executor_wall_time_s_sum 2.0" in text
+        assert "repro_executor_wall_time_s_count 2" in text
+
+    def test_every_line_parses(self):
+        # Minimal exposition-format check: each non-comment line is
+        # "<name or name{labels}> <float>".
+        text = render_prometheus(make_registry().snapshot())
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)  # must parse
+
+    def test_nan_and_inf_rendering(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", float("nan"))
+        text = render_prometheus(reg.snapshot())
+        assert "repro_g NaN" in text
+
+
+class TestDeltaSnapshot:
+    def test_counter_rate_between_scrapes(self):
+        before = {"c": {"type": "counter", "value": 10.0}}
+        after = {"c": {"type": "counter", "value": 40.0}}
+        doc = delta_snapshot(after, before, elapsed_s=2.0, now_monotonic=5.0)
+        assert doc["metrics"]["c"]["rate_per_s"] == pytest.approx(15.0)
+
+    def test_first_scrape_has_no_rate(self):
+        doc = delta_snapshot(
+            {"c": {"type": "counter", "value": 10.0}}, None, None, 5.0
+        )
+        assert doc["metrics"]["c"]["rate_per_s"] is None
+
+    def test_gauge_age(self):
+        doc = delta_snapshot(
+            {"g": {"type": "gauge", "value": 1.0, "updated_monotonic": 3.0}},
+            None,
+            None,
+            now_monotonic=10.0,
+        )
+        assert doc["metrics"]["g"]["age_s"] == pytest.approx(7.0)
+
+
+class TestMetricsServer:
+    def test_serves_metrics_and_snapshot(self):
+        reg = make_registry()
+        with MetricsServer(reg, port=0) as server:
+            assert server.port
+            with urllib.request.urlopen(f"{server.url}/metrics") as response:
+                assert response.headers["Content-Type"].startswith("text/plain")
+                text = response.read().decode()
+            assert "repro_kernel_basic_gathers_total 120.0" in text
+            reg.inc("kernel.basic.gathers", 30)
+            first = scrape_snapshot(server.url)
+            assert first["metrics"]["kernel.basic.gathers"]["value"] == 150.0
+            reg.inc("kernel.basic.gathers", 10)
+            second = scrape_snapshot(server.url)
+            rate = second["metrics"]["kernel.basic.gathers"]["rate_per_s"]
+            assert rate is not None and rate > 0
+        assert server.port is None  # stopped
+
+    def test_unknown_path_404(self):
+        with MetricsServer(make_registry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_index_documents_endpoints(self):
+        with MetricsServer(make_registry(), port=0) as server:
+            with urllib.request.urlopen(f"{server.url}/") as response:
+                body = response.read().decode()
+            assert "/metrics" in body and "/snapshot.json" in body
+
+    def test_start_is_idempotent(self):
+        server = MetricsServer(make_registry(), port=0)
+        try:
+            assert server.start().port == server.start().port
+        finally:
+            server.stop()
+
+    def test_null_server_never_binds(self):
+        assert NULL_SERVER.enabled is False
+        assert NULL_SERVER.start() is NULL_SERVER
+        assert NULL_SERVER.port is None and NULL_SERVER.url is None
+        NULL_SERVER.stop()
+        with NULL_SERVER as server:
+            assert server is NULL_SERVER
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_and_empty(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+        assert sparkline([]) == ""
+        assert sparkline([float("nan")]) == ""
+
+    def test_width_truncates_to_tail(self):
+        assert len(sparkline([float(i) for i in range(100)], width=10)) == 10
+
+
+class TestLiveRunMonitor:
+    def write_events(self, tmp_path, epochs, **overrides):
+        path = str(tmp_path / "run.jsonl")
+        with EventLog(path, meta={"command": "train", "dataset": "t"}) as log:
+            for epoch in range(epochs):
+                log.emit(make_event(epoch, loss=2.0 - epoch * 0.5, **overrides))
+        return path
+
+    def test_poll_tails_incrementally(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        log = EventLog(path)
+        log.emit(make_event(0))
+        monitor = LiveRunMonitor(path)
+        assert [e["epoch"] for e in monitor.poll()] == [0]
+        assert monitor.poll() == []
+        log.emit(make_event(1))
+        assert [e["epoch"] for e in monitor.poll()] == [1]
+        log.close()
+
+    def test_render_shows_trend_and_grads(self, tmp_path):
+        monitor = LiveRunMonitor(self.write_events(tmp_path, 3))
+        monitor.poll()
+        frame = monitor.render()
+        assert "epoch    2" in frame
+        assert "loss" in frame and "acc" in frame
+        assert "grad|w| L0:" in frame
+        assert "dataset=t" in frame
+
+    def test_render_without_events(self, tmp_path):
+        monitor = LiveRunMonitor(str(tmp_path / "missing.jsonl"))
+        monitor.poll()
+        assert "(no epoch events yet)" in monitor.render()
+
+    def test_registry_metrics_in_view(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.set_gauge("proc.rss_bytes", 2e6)
+        reg.set_gauge("proc.cpu_percent", 50.0)
+        reg.set_gauge("executor.queue_depth", 7.0)
+        monitor = LiveRunMonitor(
+            self.write_events(tmp_path, 1), registry=reg
+        )
+        monitor.poll()
+        frame = monitor.render()
+        assert "rss 2.0 MB" in frame
+        assert "cpu 50%" in frame
+        assert "7 chunk(s) queued" in frame
+
+    def test_stale_gauge_flagged(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.set_gauge("proc.rss_bytes", 2e6)
+        monitor = LiveRunMonitor(
+            self.write_events(tmp_path, 1), registry=reg, stale_after_s=-1.0
+        )
+        monitor.poll()
+        assert "[STALE]" in monitor.render()
+
+    def test_rules_evaluated_once_per_epoch(self, tmp_path):
+        path = self.write_events(tmp_path, 3)
+        rules = RuleEngine("loss_cap: train.loss < 0.1")
+        monitor = LiveRunMonitor(path, rules=rules)
+        monitor.poll()
+        assert rules.evaluations == 3  # one per epoch, not per poll
+        monitor.poll()  # no new events -> no new evaluations
+        assert rules.evaluations == 3
+        assert "FIRING" in monitor.render()
+
+    def test_rules_merge_event_over_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.set_gauge("proc.rss_bytes", 5e6)
+        rules = RuleEngine("rss: proc.rss_bytes < 1e6\nloss: train.loss < 0.1")
+        monitor = LiveRunMonitor(
+            self.write_events(tmp_path, 1), registry=reg, rules=rules
+        )
+        monitor.poll()
+        assert set(rules.active) == {"rss", "loss"}
+
+    def test_scrape_failure_is_tolerated(self, tmp_path):
+        monitor = LiveRunMonitor(
+            self.write_events(tmp_path, 1),
+            metrics_url="http://127.0.0.1:1",  # nothing listens there
+        )
+        monitor.poll()
+        assert "epoch    0" in monitor.render()
+
+    def test_follow_renders_frames(self, tmp_path):
+        stream = io.StringIO()
+        monitor = LiveRunMonitor(self.write_events(tmp_path, 2))
+        frames = monitor.follow(
+            interval_s=0.0, refresh_limit=2, stream=stream, clear=False
+        )
+        assert frames == 2
+        assert "epoch    1" in stream.getvalue()
+
+    def test_end_to_end_with_server(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.set_gauge("proc.rss_bytes", 3e6)
+        with MetricsServer(reg, port=0) as server:
+            monitor = LiveRunMonitor(
+                self.write_events(tmp_path, 2), metrics_url=server.url
+            )
+            monitor.poll()
+            frame = monitor.render()
+        assert "rss 3.0 MB" in frame
+        assert json.loads(json.dumps(monitor.metrics))  # JSON-clean scrape

@@ -30,6 +30,22 @@ class TestMetricTypes:
         g.set(2)
         assert g.value == 2.0
 
+    def test_gauge_update_timestamp(self):
+        g = Gauge()
+        assert g.age_s() is None  # never written
+        assert g.to_dict()["updated_monotonic"] is None
+        g.set(1.0)
+        assert g.age_s(now=g.updated_monotonic + 3.0) == pytest.approx(3.0)
+        assert g.to_dict()["updated_monotonic"] == g.updated_monotonic
+
+    def test_gauge_add_updates_timestamp(self):
+        g = Gauge()
+        g.set(5.0)
+        first = g.updated_monotonic
+        g.add(-2.0)
+        assert g.value == 3.0
+        assert g.updated_monotonic >= first
+
     def test_histogram_summary(self):
         h = Histogram()
         for value in (1.0, 3.0, 2.0):
@@ -194,6 +210,89 @@ class TestRegistry:
             thread.join()
         assert not errors
         assert len(reg) == 2000
+
+
+class TestConcurrency:
+    def test_snapshot_vs_reset_race(self):
+        # Writers register metrics and readers snapshot()/reset() at the
+        # same time: no exception and every snapshot is internally
+        # consistent (each doc fully formed).
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    for doc in reg.snapshot().values():
+                        assert "type" in doc
+                    reg.reset()
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=churn) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for i in range(3000):
+            reg.inc(f"c.{i % 7}")
+            reg.set_gauge(f"g.{i % 5}", float(i))
+            reg.observe("h", float(i % 11))
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_counter_concurrent_increments_sum(self):
+        import threading
+
+        c = Counter()
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert c.value == 40_000.0
+
+    def test_histogram_to_dict_under_concurrent_observe(self):
+        # to_dict() must always see a consistent (count, total, samples)
+        # triple: count == 0 implies zeroed summaries, and mean stays
+        # within the observed range.
+        import threading
+
+        h = Histogram()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    d = h.to_dict()
+                    assert d["count"] >= 0
+                    if d["count"]:
+                        assert d["min"] <= d["mean"] <= d["max"]
+                        assert d["min"] <= d["p50"] <= d["max"]
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for i in range(20_000):
+            h.observe(1.0 + (i % 10))
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert h.count == 20_000
 
 
 class TestNullRegistry:

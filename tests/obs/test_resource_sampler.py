@@ -27,6 +27,25 @@ class TestSampleOnce:
         for _ in range(3):
             assert sampler.sample_once()["cpu_percent"] >= 0.0
 
+    def test_cpu_seconds_cumulative_gauge(self):
+        # Besides the between-samples cpu_percent delta, the cumulative
+        # process CPU time is exposed as its own monotone gauge.
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry)
+        first = sampler.sample_once()["cpu_seconds"]
+        sum(i * i for i in range(200_000))  # burn a little CPU
+        second = sampler.sample_once()["cpu_seconds"]
+        assert second >= first >= 0.0
+        snap = registry.snapshot()
+        assert snap["proc.cpu_seconds"]["value"] == second
+        assert snap["proc.cpu_seconds"]["updated_monotonic"] is not None
+
+    def test_cpu_percent_reflects_delta_between_samples(self):
+        sampler = ResourceSampler(MetricsRegistry())
+        sampler.sample_once()
+        sum(i * i for i in range(2_000_000))  # measurable busy interval
+        assert sampler.sample_once()["cpu_percent"] > 0.0
+
 
 class TestBackgroundThread:
     def test_start_stop_collects_samples(self):

@@ -111,3 +111,49 @@ class TestLoadBalance:
         plan = build_chunk_plan(skewed_graph, 32, order)
         with pytest.raises(ValueError):
             ChunkExecutor("thread", 2).run(workload, plan)
+
+
+class TestLiveGauges:
+    def test_queue_drains_to_zero(self, skewed_graph, workload_inputs):
+        from repro import obs
+
+        _, metrics = obs.enable()
+        try:
+            _run(skewed_graph, workload_inputs, "thread", 2)
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        # Workers decrement executor.queue_depth per consumed chunk; after
+        # the run both live gauges must read zero (idle).
+        assert snap["executor.queue_depth"]["value"] == 0.0
+        assert snap["executor.inflight"]["value"] == 0.0
+        assert snap["executor.queue_depth"]["updated_monotonic"] is not None
+
+    def test_gauges_reset_even_when_a_worker_fails(
+        self, skewed_graph, workload_inputs
+    ):
+        from repro import obs
+
+        h, order = workload_inputs
+        bad = synthetic_features(skewed_graph, 9, seed=0)
+        workload = BasicAggregationWorkload(skewed_graph, h, "gcn", order)
+        workload.prepare()
+        workload.h = bad
+        plan = build_chunk_plan(skewed_graph, 32, order)
+        _, metrics = obs.enable()
+        try:
+            with pytest.raises(ValueError):
+                ChunkExecutor("thread", 2).run(workload, plan)
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snap["executor.queue_depth"]["value"] == 0.0
+        assert snap["executor.inflight"]["value"] == 0.0
+
+    def test_disabled_registry_records_nothing(
+        self, skewed_graph, workload_inputs
+    ):
+        from repro.obs import get_metrics
+
+        _run(skewed_graph, workload_inputs, "thread", 2)
+        assert get_metrics().snapshot() == {}

@@ -284,3 +284,126 @@ class TestObservabilityCommands:
     def test_dashboard_needs_an_input(self, capsys):
         assert main(["dashboard"]) == 2
         assert "need an events file" in capsys.readouterr().err
+
+
+class TestLiveTelemetryCommands:
+    def _train(self, tmp_path, *extra):
+        events = tmp_path / "run.jsonl"
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "8", "--hidden", "8", "--events", str(events),
+            *extra,
+        ])
+        return code, events
+
+    def test_serve_metrics_scrapable_and_torn_down(self, tmp_path, capsys):
+        # The endpoint announces its URL; after the command returns the
+        # socket is closed and the serving thread is gone.
+        import re
+        import threading
+        import urllib.request
+
+        code, _ = self._train(tmp_path, "--serve-metrics", "0")
+        assert code == 0
+        out = capsys.readouterr().out
+        match = re.search(r"serving live metrics on (http://\S+)", out)
+        assert match, out
+        assert "repro-metrics-server" not in [
+            t.name for t in threading.enumerate()
+        ]
+        with pytest.raises(OSError):
+            urllib.request.urlopen(match.group(1) + "/metrics", timeout=0.5)
+
+    def test_train_rules_in_report_and_events(self, tmp_path, capsys):
+        import json
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("loss_cap: train.loss < 1e-6\n")
+        report = tmp_path / "run.json"
+        code, events = self._train(
+            tmp_path, "--rules", str(rules), "--json", str(report)
+        )
+        assert code == 0
+        doc = json.loads(report.read_text())
+        assert doc["alerts"]["ok"] is False
+        assert doc["alerts"]["rules"][0]["name"] == "loss_cap"
+        assert any(
+            "slo:loss_cap" in e["health_issues"] for e in doc["epoch_events"]
+        )
+        snap = doc["metrics"]
+        assert snap["alerts.fired"]["value"] >= 1.0
+        assert "slo:" in capsys.readouterr().out
+
+    def test_train_rejects_bad_rules_file(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("not a rule\n")
+        code, _ = self._train(tmp_path, "--rules", str(rules))
+        assert code == 2
+        assert "rules.txt" in capsys.readouterr().err
+
+    def test_top_once_renders_run(self, tmp_path, capsys):
+        code, events = self._train(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(events), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "== repro top ==" in out
+        assert "epoch    1" in out
+        assert "loss" in out
+
+    def test_top_accepts_run_directory(self, tmp_path, capsys):
+        self._train(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(tmp_path)]) == 0
+        assert "epoch    1" in capsys.readouterr().out
+
+    def test_top_check_exit_codes(self, tmp_path, capsys):
+        _, events = self._train(tmp_path)
+        firing = tmp_path / "firing.txt"
+        firing.write_text("loss_cap: train.loss < 1e-6\n")
+        quiet = tmp_path / "quiet.txt"
+        quiet.write_text("loss_cap: train.loss < 1e9\n")
+        assert main(
+            ["top", str(events), "--check", "--rules", str(quiet)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["top", str(events), "--check", "--rules", str(firing)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "loss_cap" in err
+
+    def test_top_check_requires_rules(self, tmp_path, capsys):
+        _, events = self._train(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(events), "--check"]) == 2
+        assert "--rules" in capsys.readouterr().err
+
+    def test_top_nothing_to_watch(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path)]) == 2
+        assert "nothing to watch" in capsys.readouterr().err
+
+    def test_top_follow_bounded(self, tmp_path, capsys):
+        _, events = self._train(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "top", str(events), "--follow", "--refresh-limit", "2",
+            "--interval", "0",
+        ]) == 0
+        assert "== repro top ==" in capsys.readouterr().out
+
+    def test_top_flags_default_off(self):
+        args = build_parser().parse_args(["top", "x.jsonl"])
+        assert args.follow is False and args.check is False
+        assert args.metrics_url is None and args.rules is None
+        assert args.interval == 1.0 and args.refresh_limit is None
+
+    def test_serve_metrics_flag_parses_everywhere(self):
+        for command in (
+            ["train", "products"],
+            ["bench-parallel", "products"],
+            ["profile"],
+        ):
+            args = build_parser().parse_args(command + ["--serve-metrics", "0"])
+            assert args.serve_metrics == 0
+            args = build_parser().parse_args(command)
+            assert args.serve_metrics is None
