@@ -20,7 +20,12 @@ Subcommands:
 * ``bench-parallel`` — worker-count sweep of the chunk executor
   (also accepts ``--trace`` / ``--json``).
 * ``profile`` — trace one tiny synthetic training run end to end and
-  print the span tree, counters, and environment.
+  print the span tree, counters, and environment (``--sampling HZ``
+  additionally runs the statistical sampling profiler and prints the
+  per-phase sampled-time table; ``--flame FILE`` writes collapsed
+  stacks for flamegraph tooling).
+* ``profile diff`` — compare the sampled profiles of two run reports
+  and exit nonzero when a phase regressed past the threshold.
 * ``experiment`` — run one named paper artifact (fig2 ... tab5).
 
 Global flags: ``-v/--verbose`` (repeatable), ``-q/--quiet``, and
@@ -94,6 +99,8 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
     sample_proc = getattr(args, "sample_proc", False)
     history_path = getattr(args, "history", None)
     serve_port = getattr(args, "serve_metrics", None)
+    sampling_hz = getattr(args, "sampling", None)
+    flame_path = getattr(args, "flame", None)
     if (
         not trace_path
         and not json_path
@@ -101,10 +108,24 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
         and not sample_proc
         and not history_path
         and serve_port is None
+        and sampling_hz is None
+        and not flame_path
     ):
         yield None
         return
     tracer, metrics = obs.enable()
+    # --flame alone implies sampling at the default rate; the profiler
+    # joins sampled stacks against the tracer's live span stacks so each
+    # tick lands in a phase (aggregate/update/backward/compress).
+    profiler = obs.NULL_PROFILER
+    if sampling_hz is not None or flame_path:
+        profiler = obs.SamplingProfiler(
+            tracer=tracer,
+            hz=sampling_hz or obs.DEFAULT_SAMPLING_HZ,
+            registry=metrics,
+        )
+        obs.set_profiler(profiler)
+        profiler.start()
     # --serve-metrics implies --sample-proc: a scrape without proc.*
     # gauges answers none of the questions a live watcher asks.
     sampler = (
@@ -126,10 +147,25 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
     finally:
         server.stop()
         sampler.stop()
+        profile_data = profiler.stop()
         obs.disable()
         # ``extras`` may arrive as an (empty, falsy) dict the caller will
         # read after the block — never replace it, fill it in place.
         extras = {} if extras is None else extras
+        records = [
+            span.to_record()
+            for span in sorted(tracer.spans(), key=lambda s: s.span_id)
+        ]
+        if profile_data is not None:
+            print("\n== sampled profile ==")
+            print(
+                obs.render_profile(
+                    profile_data, obs.span_phase_seconds(records)
+                )
+            )
+        if flame_path and profile_data is not None:
+            count = obs.write_collapsed(flame_path, profile_data)
+            print(f"wrote {count} folded stacks to {flame_path}")
         if sample_proc:
             snap = metrics.snapshot()
             rss = snap.get("proc.rss_bytes.samples", {})
@@ -150,13 +186,16 @@ def _telemetry(args: argparse.Namespace, meta: dict, extras: Optional[dict] = No
                 events=extras.get("events"),
                 sparsity=extras.get("sparsity"),
                 alerts=extras.get("alerts"),
+                profile=profile_data,
             )
             extras["report"] = report
             if json_path:
                 obs.write_json(json_path, report)
                 print(f"wrote run report to {json_path}")
         if perfetto_path:
-            count = obs.export_perfetto(perfetto_path, tracer, metrics, meta=meta)
+            count = obs.export_perfetto(
+                perfetto_path, tracer, metrics, meta=meta, profile=profile_data
+            )
             print(f"wrote {count} span events to {perfetto_path} (Perfetto)")
 
 
@@ -216,6 +255,13 @@ def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value!r}")
     return parsed
 
 
@@ -511,6 +557,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     trainer = Trainer(model, Adam(model, lr=0.01), aggregation_kernel=kernel)
 
     tracer, metrics = obs.enable()
+    profiler = obs.NULL_PROFILER
+    if args.sampling is not None or args.flame:
+        profiler = obs.SamplingProfiler(
+            tracer=tracer,
+            hz=args.sampling or obs.DEFAULT_SAMPLING_HZ,
+            registry=metrics,
+        )
+        obs.set_profiler(profiler)
+        profiler.start()
     server = obs.NULL_SERVER
     if args.serve_metrics is not None:
         server = obs.MetricsServer(metrics, port=args.serve_metrics).start()
@@ -522,6 +577,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         history = trainer.fit(graph, features, labels, epochs=args.epochs)
     finally:
         server.stop()
+        profile_data = profiler.stop()
         obs.disable()
 
     records = [
@@ -554,6 +610,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("\n== bottleneck attribution ==")
     print(attribution.render())
 
+    if profile_data is not None:
+        print("\n== sampled profile ==")
+        print(obs.render_profile(profile_data, obs.span_phase_seconds(records)))
+
     meta = {
         "command": "profile",
         "vertices": args.vertices,
@@ -563,19 +623,56 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "backend": args.backend,
         "epochs": args.epochs,
     }
+    if profile_data is not None:
+        meta["sampling_hz"] = profile_data.hz
     if args.trace:
         count = tracer.export_jsonl(args.trace)
         print(f"\nwrote {count} spans to {args.trace}")
     if args.json:
-        obs.write_json(args.json, obs.build_run_report(tracer, metrics, meta=meta))
+        obs.write_json(
+            args.json,
+            obs.build_run_report(
+                tracer, metrics, meta=meta, profile=profile_data
+            ),
+        )
         print(f"wrote run report to {args.json}")
     if args.perfetto:
-        count = obs.export_perfetto(args.perfetto, tracer, metrics, meta=meta)
+        count = obs.export_perfetto(
+            args.perfetto, tracer, metrics, meta=meta, profile=profile_data
+        )
         print(f"wrote {count} span events to {args.perfetto} (Perfetto)")
     if args.attrib:
         attribution.write_json(args.attrib)
         print(f"wrote attribution report to {args.attrib}")
+    if args.flame:
+        if profile_data is None:  # pragma: no cover - flame implies sampling
+            print("no sampled profile captured; flame output skipped")
+        else:
+            count = obs.write_collapsed(args.flame, profile_data)
+            print(f"wrote {count} folded stacks to {args.flame}")
     return 0
+
+
+def _cmd_profile_diff(args: argparse.Namespace) -> int:
+    """Compare two sampled-profile captures; exit 1 on phase regression."""
+    import json as json_module
+
+    from .obs import load_profile_document, profile_diff
+
+    try:
+        baseline = load_profile_document(args.baseline)
+        candidate = load_profile_document(args.candidate)
+    except (OSError, ValueError, json_module.JSONDecodeError) as error:
+        print(f"profile diff: {error}", file=sys.stderr)
+        return 2
+    diff = profile_diff(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -841,6 +938,18 @@ def build_parser() -> argparse.ArgumentParser:
         "violations surface as alerts.* metrics, slo: event issues, "
         "and run-report entries",
     )
+    p.add_argument(
+        "--sampling", metavar="HZ", type=_positive_float, default=None,
+        help="run the sampling profiler at HZ: walk the interpreter "
+        "stacks, attribute samples to span phases, print the per-phase "
+        "table, and embed the profile in --json/--perfetto outputs",
+    )
+    p.add_argument(
+        "--flame", metavar="FILE", default=None,
+        help="write the sampled profile as collapsed stacks "
+        "(flamegraph.pl / speedscope input); implies --sampling "
+        "at the default 97 Hz",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -953,7 +1062,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the live metrics registry over HTTP during the "
         "profiled run (0 = ephemeral port)",
     )
+    p.add_argument(
+        "--sampling", metavar="HZ", type=_positive_float, default=None,
+        help="run the sampling profiler at HZ: walk the interpreter "
+        "stacks, attribute samples to span phases "
+        "(aggregate/update/backward/compress), and print the per-phase "
+        "and top-function tables",
+    )
+    p.add_argument(
+        "--flame", metavar="FILE", default=None,
+        help="write the sampled profile as collapsed stacks "
+        "(flamegraph.pl / speedscope input); implies --sampling "
+        "at the default 97 Hz",
+    )
     p.set_defaults(func=_cmd_profile)
+    psub = p.add_subparsers(
+        dest="profile_command", metavar="{diff}",
+        help="profile subcommands (omit to trace a run)",
+    )
+    pd = psub.add_parser(
+        "diff",
+        help="compare two sampled-profile captures "
+        "(run reports or profile dicts); exit 1 on phase regression",
+    )
+    pd.add_argument(
+        "baseline",
+        help="baseline run-report JSON (from --sampling --json FILE)",
+    )
+    pd.add_argument(
+        "candidate", help="candidate run-report JSON to judge"
+    )
+    pd.add_argument(
+        "--threshold", type=_positive_float, default=0.25,
+        help="relative per-phase regression tolerance "
+        "(default: %(default)s)",
+    )
+    pd.add_argument(
+        "--min-seconds", type=_positive_float, default=0.02,
+        help="absolute per-phase slack in seconds — deltas below this "
+        "never gate (default: %(default)s)",
+    )
+    pd.set_defaults(func=_cmd_profile_diff)
 
     p = sub.add_parser(
         "compare",

@@ -112,6 +112,23 @@ from .metrics import (
     NullRegistry,
     publish_counters,
 )
+from .profiler import (
+    DEFAULT_SAMPLING_HZ,
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    NullSamplingProfiler,
+    ProfileData,
+    ProfileDiff,
+    SamplingProfiler,
+    fold_stack,
+    frame_label,
+    load_profile_document,
+    phase_of_stack,
+    profile_diff,
+    render_profile,
+    span_phase_seconds,
+    write_collapsed,
+)
 from .rules import (
     Alert,
     Rule,
@@ -145,6 +162,7 @@ from .trace import (
 
 _tracer = NULL_TRACER
 _metrics = NULL_REGISTRY
+_profiler = NULL_PROFILER
 
 
 def get_tracer():
@@ -157,6 +175,11 @@ def get_metrics():
     return _metrics
 
 
+def get_profiler():
+    """The active sampling profiler (:data:`NULL_PROFILER` unless set)."""
+    return _profiler
+
+
 def set_tracer(tracer) -> None:
     global _tracer
     _tracer = tracer
@@ -165,6 +188,11 @@ def set_tracer(tracer) -> None:
 def set_metrics(registry) -> None:
     global _metrics
     _metrics = registry
+
+
+def set_profiler(profiler) -> None:
+    global _profiler
+    _profiler = profiler
 
 
 def enable(
@@ -180,9 +208,10 @@ def enable(
 
 
 def disable() -> None:
-    """Restore the zero-cost null tracer and registry."""
+    """Restore the zero-cost null tracer, registry, and profiler."""
     set_tracer(NULL_TRACER)
     set_metrics(NULL_REGISTRY)
+    set_profiler(NULL_PROFILER)
 
 
 __all__ = [
@@ -226,11 +255,18 @@ __all__ = [
     "NullMetricsServer",
     "NullRegistry",
     "NullResourceSampler",
+    "NullSamplingProfiler",
     "NullTracer",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_SAMPLER",
     "NULL_SERVER",
     "NULL_TRACER",
+    "DEFAULT_SAMPLING_HZ",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileData",
+    "ProfileDiff",
+    "SamplingProfiler",
     "ResourceSampler",
     "Rule",
     "RuleEngine",
@@ -245,9 +281,18 @@ __all__ = [
     "disable",
     "enable",
     "environment_info",
+    "fold_stack",
+    "frame_label",
     "get_metrics",
+    "get_profiler",
     "get_tracer",
+    "load_profile_document",
     "load_rules",
+    "phase_of_stack",
+    "profile_diff",
+    "render_profile",
+    "span_phase_seconds",
+    "write_collapsed",
     "parse_rule",
     "parse_rules",
     "prometheus_name",
@@ -259,6 +304,7 @@ __all__ = [
     "scrape_snapshot",
     "sparkline",
     "set_metrics",
+    "set_profiler",
     "set_tracer",
     "span_tree",
     "validate_epoch_event",

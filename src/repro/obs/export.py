@@ -50,11 +50,16 @@ def _micros(seconds: float) -> float:
 def chrome_trace_events(
     records: List[Dict[str, Any]],
     metrics_snapshot: Optional[Mapping[str, Mapping[str, float]]] = None,
+    profile: Optional[Mapping[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Build the Chrome trace-event list for a list of span records.
 
     The returned list contains exactly one ``"X"`` event per span record,
-    plus ``"C"`` counter samples and ``"M"`` metadata events.
+    plus ``"C"`` counter samples and ``"M"`` metadata events.  With a
+    sampled ``profile`` block (:meth:`ProfileData.to_dict` or the run
+    report's ``profile`` entry), each timeline tick becomes one ``"i"``
+    instant event named ``sample.<phase>`` and a cumulative
+    ``profiler/samples`` counter track shows when the profiler ran.
     """
     events: List[Dict[str, Any]] = []
     tids = {0}
@@ -127,6 +132,34 @@ def chrome_trace_events(
                 }
             )
 
+    # Sampled-profile overlay: instant events on the timeline plus a
+    # cumulative tick-count track (flat where the profiler wasn't live).
+    if profile:
+        timeline = profile.get("timeline") or []
+        for index, (t_s, phase) in enumerate(timeline):
+            ts = _micros(float(t_s))
+            events.append(
+                {
+                    "name": f"sample.{phase}",
+                    "cat": "profiler",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": TRACE_PID,
+                    "tid": 0,
+                    "args": {"phase": phase},
+                }
+            )
+            events.append(
+                {
+                    "name": "profiler/samples",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": TRACE_PID,
+                    "args": {"samples": index + 1},
+                }
+            )
+
     events.append(
         {
             "name": "process_name",
@@ -136,7 +169,7 @@ def chrome_trace_events(
         }
     )
     for tid in sorted(tids):
-        label = "main" if tid == 0 else f"worker {tid - 1}"
+        label = "main" if tid == 0 else f"worker-{tid - 1}"
         events.append(
             {
                 "name": "thread_name",
@@ -153,10 +186,11 @@ def chrome_trace(
     records: List[Dict[str, Any]],
     metrics_snapshot: Optional[Mapping[str, Mapping[str, float]]] = None,
     meta: Optional[Dict[str, Any]] = None,
+    profile: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The full Chrome-trace JSON document for a span-record list."""
     return {
-        "traceEvents": chrome_trace_events(records, metrics_snapshot),
+        "traceEvents": chrome_trace_events(records, metrics_snapshot, profile),
         "displayTimeUnit": "ms",
         "otherData": dict(meta or {}),
     }
@@ -167,9 +201,10 @@ def write_chrome_trace(
     records: List[Dict[str, Any]],
     metrics_snapshot: Optional[Mapping[str, Mapping[str, float]]] = None,
     meta: Optional[Dict[str, Any]] = None,
+    profile: Optional[Mapping[str, Any]] = None,
 ) -> int:
     """Write a Perfetto-loadable trace file; returns the span-event count."""
-    doc = chrome_trace(records, metrics_snapshot, meta)
+    doc = chrome_trace(records, metrics_snapshot, meta, profile)
     with open(path, "w") as handle:
         json.dump(doc, handle)
         handle.write("\n")
@@ -181,11 +216,19 @@ def export_perfetto(
     tracer,
     metrics=None,
     meta: Optional[Dict[str, Any]] = None,
+    profile=None,
 ) -> int:
-    """Convenience: export a live tracer (and registry) straight to disk."""
+    """Convenience: export a live tracer (and registry) straight to disk.
+
+    ``profile`` accepts the active :class:`~repro.obs.profiler
+    .SamplingProfiler`'s ``data``, a raw :class:`ProfileData`, or an
+    already-serialized profile dict.
+    """
     records = [
         span.to_record()
         for span in sorted(tracer.spans(), key=lambda s: s.span_id)
     ]
     snapshot = metrics.snapshot() if metrics is not None else None
-    return write_chrome_trace(path, records, snapshot, meta)
+    if profile is not None and hasattr(profile, "to_dict"):
+        profile = profile.to_dict()
+    return write_chrome_trace(path, records, snapshot, meta, profile)

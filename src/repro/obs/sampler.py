@@ -95,31 +95,46 @@ class ResourceSampler:
         self._thread: Optional[threading.Thread] = None
         self._last_cpu = _cpu_seconds()
         self._last_wall = time.perf_counter()
+        # The first sample after construction/start has no meaningful
+        # interval to differentiate over — its cpu_percent would be the
+        # delta against a near-zero (or arbitrarily stale) baseline.
+        # It primes the baseline instead and publishes no percent.
+        self._primed = False
 
     # ------------------------------------------------------------------
     def sample_once(self) -> Dict[str, float]:
-        """Take one sample, publish it, and return the raw values."""
+        """Take one sample, publish it, and return the raw values.
+
+        The first sample after init/:meth:`start` omits ``cpu_percent``
+        (both from the returned dict and the registry): there is no
+        prior *sample* to delta against, so the value would be garbage
+        noise amplified by a tiny wall interval.
+        """
         now = time.perf_counter()
         cpu = _cpu_seconds()
         wall_delta = now - self._last_wall
         cpu_percent = (
             100.0 * (cpu - self._last_cpu) / wall_delta if wall_delta > 0 else 0.0
         )
+        primed = self._primed
+        self._primed = True
         self._last_cpu = cpu
         self._last_wall = now
         sample = {
             "rss_bytes": _rss_bytes(),
-            "cpu_percent": cpu_percent,
             "cpu_seconds": cpu,
             "num_threads": _num_threads(),
         }
+        if primed:
+            sample["cpu_percent"] = cpu_percent
         registry = self.registry
         registry.set_gauge("proc.rss_bytes", sample["rss_bytes"])
-        registry.set_gauge("proc.cpu_percent", sample["cpu_percent"])
         registry.set_gauge("proc.cpu_seconds", sample["cpu_seconds"])
         registry.set_gauge("proc.num_threads", sample["num_threads"])
         registry.observe("proc.rss_bytes.samples", sample["rss_bytes"])
-        registry.observe("proc.cpu_percent.samples", sample["cpu_percent"])
+        if primed:
+            registry.set_gauge("proc.cpu_percent", cpu_percent)
+            registry.observe("proc.cpu_percent.samples", cpu_percent)
         registry.inc("proc.samples")
         self.samples += 1
         return sample
@@ -135,6 +150,7 @@ class ResourceSampler:
             self._stop.clear()
             self._last_cpu = _cpu_seconds()
             self._last_wall = time.perf_counter()
+            self._primed = False
             self._thread = threading.Thread(
                 target=self._run, name="repro-resource-sampler", daemon=True
             )

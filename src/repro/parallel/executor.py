@@ -24,16 +24,17 @@ counter, and is the one entry that legitimately varies between runs.
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..kernels.base import KernelStats
-from ..obs import get_metrics, get_tracer
+from ..obs import get_metrics, get_profiler, get_tracer
 from .plan import Chunk, ChunkPlan, assign_chunks
 from .workload import ChunkWorkload
 
@@ -45,13 +46,20 @@ BACKENDS = ("serial", "thread", "process")
 
 @dataclass
 class WorkerReport:
-    """What one worker did: its chunks, vertices, counters, and time."""
+    """What one worker did: its chunks, vertices, counters, and time.
+
+    ``telemetry`` carries a process-backend worker's shipped payload
+    (its real span records, metrics registry, folded profile stacks and
+    clock epoch) — ``None`` for in-process workers, whose telemetry
+    lands in the shared tracer/registry directly.
+    """
 
     worker_id: int
     num_chunks: int
     num_vertices: int
     elapsed_s: float
     stats: KernelStats = field(default_factory=KernelStats)
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -81,24 +89,96 @@ class ExecutionReport:
 # ----------------------------------------------------------------------
 # Process-backend worker entry points (module level: must be picklable).
 # ----------------------------------------------------------------------
-_WORKER_STATE: Dict[str, ChunkWorkload] = {}
+_WORKER_STATE: Dict[str, Any] = {}
 
 
-def _process_init(workload: ChunkWorkload) -> None:
+@dataclass(frozen=True)
+class WorkerTelemetryPlan:
+    """Picklable instructions for a worker process's own telemetry.
+
+    Shipped through the pool initializer: when the parent's tracer or
+    registry is live, each worker batch runs under a *fresh* tracer +
+    registry of its own (never the fork-inherited parent singletons —
+    writing there would be lost and double-counted), and optionally a
+    sampling profiler at the parent's rate.  The collected records ride
+    back with the chunk results.
+    """
+
+    telemetry: bool = False
+    sampling_hz: Optional[float] = None
+
+
+def _process_init(
+    workload: ChunkWorkload, plan: Optional[WorkerTelemetryPlan] = None
+) -> None:
     workload.prepare()
     _WORKER_STATE["workload"] = workload
+    _WORKER_STATE["plan"] = plan or WorkerTelemetryPlan()
 
 
 def _process_run(worker_id: int, chunks: List[Chunk]):
     workload = _WORKER_STATE["workload"]
-    start = time.perf_counter()
-    stats = KernelStats()
-    writes = []
-    for chunk in chunks:
-        chunk_writes, chunk_stats = workload.run_chunk(chunk)
-        writes.append(chunk_writes)
-        stats.merge(chunk_stats)
-    return worker_id, writes, stats, time.perf_counter() - start
+    plan: WorkerTelemetryPlan = _WORKER_STATE.get("plan") or WorkerTelemetryPlan()
+    if not plan.telemetry:
+        start = time.perf_counter()
+        stats = KernelStats()
+        writes = []
+        for chunk in chunks:
+            chunk_writes, chunk_stats = workload.run_chunk(chunk)
+            writes.append(chunk_writes)
+            stats.merge(chunk_stats)
+        return worker_id, writes, stats, time.perf_counter() - start, None
+
+    # Telemetry path: fresh per-batch obs objects (one OS process can
+    # serve several batches; each batch ships an independent capture).
+    from .. import obs
+
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    obs.set_tracer(tracer)
+    obs.set_metrics(registry)
+    profiler = (
+        obs.SamplingProfiler(tracer=tracer, hz=plan.sampling_hz, registry=registry)
+        if plan.sampling_hz
+        else None
+    )
+    try:
+        if profiler is not None:
+            profiler.start()
+        start = time.perf_counter()
+        stats = KernelStats()
+        writes = []
+        vertices = 0
+        with tracer.span(
+            "worker",
+            worker_id=worker_id,
+            backend="process",
+            pid=os.getpid(),
+            chunks=len(chunks),
+            **workload.describe(),
+        ) as span:
+            for chunk in chunks:
+                chunk_writes, chunk_stats = workload.run_chunk(chunk)
+                writes.append(chunk_writes)
+                stats.merge(chunk_stats)
+                vertices += chunk.num_vertices
+            span.set_attr("vertices", vertices)
+            span.add_counters(stats.as_dict())
+        elapsed = time.perf_counter() - start
+        if profiler is not None:
+            profiler.stop()
+        obs.publish_counters(registry, "work", stats.as_dict(include_extra=False))
+        payload = {
+            "spans": [s.to_record() for s in tracer.spans()],
+            "metrics": registry,
+            "profile": profiler.data if profiler is not None else None,
+            "epoch_unix": tracer.epoch_unix,
+        }
+        return worker_id, writes, stats, elapsed, payload
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        obs.disable()
 
 
 class ChunkExecutor:
@@ -179,28 +259,39 @@ class ChunkExecutor:
         return outputs, merged, execution
 
     def _emit_telemetry(self, plan: ChunkPlan, execution: ExecutionReport) -> None:
-        """One span per worker's chunk batch, plus registry counters.
+        """Worker spans plus registry counters, real or synthesized.
 
-        Worker spans are synthesized in the caller's thread from the
-        measured :class:`WorkerReport` timings, so every backend
-        (including ``process``, whose workers can't share a tracer)
-        produces the same span shape, as children of whatever span the
-        caller (normally a kernel) has open.
+        Process-backend workers that shipped a telemetry payload get the
+        *real* treatment: their span records (measured in the worker, on
+        the worker's clock) are adopted under the caller's open span with
+        the clock offset corrected, their registries merge into the
+        parent under a ``worker<id>.`` prefix, and their folded profile
+        stacks are absorbed into the active profiler under a
+        ``worker-<id>`` root frame.  Workers without a payload (thread /
+        serial backends, whose telemetry already landed in the shared
+        tracer and registry, or idle process workers) keep the old
+        synthesized span, now marked ``synthesized: True``.
         """
         tracer = get_tracer()
         if tracer.enabled:
             for report in execution.worker_reports:
-                tracer.record(
-                    "worker",
-                    duration_s=report.elapsed_s,
-                    attrs={
-                        "worker_id": report.worker_id,
-                        "backend": self.backend,
-                        "chunks": report.num_chunks,
-                        "vertices": report.num_vertices,
-                    },
-                    counters=report.stats.as_dict(),
-                )
+                payload = report.telemetry
+                if payload and payload.get("spans"):
+                    offset = float(payload["epoch_unix"]) - tracer.epoch_unix
+                    tracer.adopt(payload["spans"], offset_s=offset)
+                else:
+                    tracer.record(
+                        "worker",
+                        duration_s=report.elapsed_s,
+                        attrs={
+                            "worker_id": report.worker_id,
+                            "backend": self.backend,
+                            "chunks": report.num_chunks,
+                            "vertices": report.num_vertices,
+                            "synthesized": True,
+                        },
+                        counters=report.stats.as_dict(),
+                    )
         metrics = get_metrics()
         if metrics.enabled:
             metrics.inc("executor.runs")
@@ -212,6 +303,19 @@ class ChunkExecutor:
                 metrics.inc(f"{prefix}.chunks", report.num_chunks)
                 metrics.inc(f"{prefix}.vertices", report.num_vertices)
                 metrics.observe(f"{prefix}.elapsed_s", report.elapsed_s)
+                payload = report.telemetry
+                if payload and payload.get("metrics") is not None:
+                    metrics.merge(
+                        payload["metrics"], prefix=f"worker{report.worker_id}."
+                    )
+        profiler = get_profiler()
+        if profiler.enabled:
+            for report in execution.worker_reports:
+                payload = report.telemetry
+                if payload and payload.get("profile") is not None:
+                    profiler.absorb(
+                        payload["profile"], source=f"worker-{report.worker_id}"
+                    )
         # imbalance is O(workers) numpy work — don't compute it eagerly
         # just to discard it when DEBUG is off (this runs per kernel call).
         if logger.isEnabledFor(logging.DEBUG):
@@ -306,17 +410,22 @@ class ChunkExecutor:
             if chunks
         ]
         idle = [worker_id for worker_id, chunks in enumerate(assignment) if not chunks]
+        profiler = get_profiler()
+        plan = WorkerTelemetryPlan(
+            telemetry=get_tracer().enabled or get_metrics().enabled,
+            sampling_hz=profiler.hz if profiler.enabled else None,
+        )
         with ProcessPoolExecutor(
             max_workers=max(1, len(busy)),
             initializer=_process_init,
-            initargs=(workload,),
+            initargs=(workload, plan),
         ) as pool:
             futures = [
                 pool.submit(_process_run, worker_id, chunks)
                 for worker_id, chunks in busy
             ]
             for future in futures:
-                worker_id, writes, stats, elapsed = future.result()
+                worker_id, writes, stats, elapsed, telemetry = future.result()
                 for chunk_writes in writes:
                     for name, (idx, rows) in chunk_writes.items():
                         outputs[name][idx] = rows
@@ -328,6 +437,7 @@ class ChunkExecutor:
                         num_vertices=sum(chunk.num_vertices for chunk in chunks),
                         elapsed_s=elapsed,
                         stats=stats,
+                        telemetry=telemetry,
                     )
                 )
         for worker_id in idle:

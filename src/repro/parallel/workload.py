@@ -60,6 +60,15 @@ class ChunkWorkload:
         """Compute one chunk's disjoint output rows and its work counters."""
         raise NotImplementedError
 
+    def describe(self) -> Dict[str, str]:
+        """Span attributes identifying this workload on worker spans."""
+        desc = {"workload": type(self).__name__}
+        for key in ("aggregator", "engine"):
+            value = getattr(self, key, None)
+            if value is not None:
+                desc[key] = value
+        return desc
+
     def __getstate__(self):
         # Runtime state (closures, factor arrays) is rebuilt per worker.
         return {k: v for k, v in self.__dict__.items() if not k.startswith("_rt_")}

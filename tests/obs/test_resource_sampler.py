@@ -20,10 +20,35 @@ class TestSampleOnce:
         assert snap["proc.rss_bytes"]["value"] == sample["rss_bytes"]
         assert snap["proc.samples"]["value"] == 1.0
         assert snap["proc.rss_bytes.samples"]["count"] == 1
+
+    def test_first_sample_suppresses_cpu_percent(self):
+        # Regression: the first sample has no prior *sample* to delta
+        # against — its percent was init-to-now garbage (often wildly
+        # inflated by a sub-millisecond wall interval).  It must prime
+        # the baseline and publish no percent at all.
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry)
+        first = sampler.sample_once()
+        assert "cpu_percent" not in first
+        snap = registry.snapshot()
+        assert "proc.cpu_percent" not in snap
+        assert "proc.cpu_percent.samples" not in snap
+        second = sampler.sample_once()
+        assert "cpu_percent" in second
+        snap = registry.snapshot()
         assert snap["proc.cpu_percent.samples"]["count"] == 1
+
+    def test_restart_reprimes_the_baseline(self):
+        sampler = ResourceSampler(MetricsRegistry(), interval_s=0.01)
+        assert "cpu_percent" not in sampler.sample_once()
+        assert "cpu_percent" in sampler.sample_once()
+        sampler.start()  # start() resets the baseline: stale delta again
+        assert sampler._primed is False
+        sampler.stop()
 
     def test_cpu_percent_nonnegative(self):
         sampler = ResourceSampler(MetricsRegistry())
+        sampler.sample_once()  # primes the baseline, publishes no percent
         for _ in range(3):
             assert sampler.sample_once()["cpu_percent"] >= 0.0
 

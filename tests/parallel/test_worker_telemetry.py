@@ -1,0 +1,153 @@
+"""Cross-process worker telemetry: real spans, merged metrics, profiles.
+
+Process-backend workers run their own tracer/registry (and optionally a
+sampling profiler) inside the worker process and ship the results home
+with the chunk outputs; the executor adopts the spans under its own
+span, merges the metrics under a ``worker{k}.`` prefix, and absorbs the
+folded stacks.  Thread/serial backends keep the synthesized worker
+spans (marked ``synthesized``) since their work already runs under the
+parent tracer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.graphs import power_law_graph, synthetic_features
+from repro.parallel import (
+    BasicAggregationWorkload,
+    ChunkExecutor,
+    build_chunk_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(240, avg_degree=8.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def inputs(graph):
+    h = synthetic_features(graph, 12, seed=3, sparsity=0.3)
+    order = np.arange(graph.num_vertices, dtype=np.int64)
+    return h, order
+
+
+def _run(graph, inputs, backend, workers, task_size=32):
+    h, order = inputs
+    workload = BasicAggregationWorkload(graph, h, "gcn", order)
+    plan = build_chunk_plan(graph, task_size, order)
+    return ChunkExecutor(backend, workers).run(workload, plan)
+
+
+def _worker_spans(tracer):
+    return [s.to_record() for s in tracer.spans() if s.name == "worker"]
+
+
+class TestProcessWorkerSpans:
+    def test_real_spans_replace_synthesized_ones(self, graph, inputs):
+        tracer, _ = obs.enable()
+        try:
+            with tracer.span("kernel.basic") as kernel_span:
+                _run(graph, inputs, "process", 2)
+        finally:
+            obs.disable()
+        workers = _worker_spans(tracer)
+        assert len(workers) == 2
+        for record in workers:
+            attrs = record["attrs"]
+            # A real in-worker span carries the worker process's pid and
+            # no synthesized marker.
+            assert attrs.get("pid") not in (None, 0)
+            assert "synthesized" not in attrs
+            assert attrs["backend"] == "process"
+            assert record["parent_id"] == kernel_span.span.span_id
+            assert record["duration_s"] > 0.0
+
+    def test_worker_pids_differ_from_parent(self, graph, inputs):
+        import os
+
+        tracer, _ = obs.enable()
+        try:
+            _run(graph, inputs, "process", 2)
+        finally:
+            obs.disable()
+        pids = {r["attrs"]["pid"] for r in _worker_spans(tracer)}
+        assert os.getpid() not in pids
+
+    def test_thread_backend_spans_stay_synthesized(self, graph, inputs):
+        tracer, _ = obs.enable()
+        try:
+            _run(graph, inputs, "thread", 2)
+        finally:
+            obs.disable()
+        workers = _worker_spans(tracer)
+        assert len(workers) == 2
+        assert all(r["attrs"].get("synthesized") is True for r in workers)
+
+
+class TestProcessWorkerMetrics:
+    def test_metrics_merge_under_worker_prefix(self, graph, inputs):
+        _, metrics = obs.enable()
+        try:
+            _run(graph, inputs, "process", 2)
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        for worker_id in (0, 1):
+            assert f"worker{worker_id}.work.gathers" in snap
+            assert f"worker{worker_id}.work.tasks" in snap
+
+    def test_counter_sum_parity_with_serial_run(self, graph, inputs):
+        # The acceptance bar: per-worker merged counters must sum to
+        # exactly the serial run's totals — no double counting, no loss.
+        _, serial_stats, _ = _run(graph, inputs, "serial", 1)
+        _, metrics = obs.enable()
+        try:
+            _, stats, _ = _run(graph, inputs, "process", 2)
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        merged_gathers = sum(
+            snap[f"worker{k}.work.gathers"]["value"] for k in (0, 1)
+        )
+        assert merged_gathers == serial_stats.gathers == stats.gathers
+        merged_tasks = sum(
+            snap[f"worker{k}.work.tasks"]["value"] for k in (0, 1)
+        )
+        assert merged_tasks == serial_stats.tasks
+
+
+class TestProcessWorkerProfiles:
+    def test_worker_profiles_absorbed_into_parent(self, graph, inputs):
+        tracer, metrics = obs.enable()
+        profiler = obs.SamplingProfiler(tracer=tracer, hz=400.0, registry=metrics)
+        obs.set_profiler(profiler)
+        try:
+            _run(graph, inputs, "process", 2, task_size=8)
+        finally:
+            data = profiler.stop()
+            obs.disable()
+        # Each worker payload that carried samples registered its source;
+        # with a tiny workload a worker may finish between ticks, so only
+        # the *shape* of absorbed stacks is asserted, not a minimum count.
+        for source in data.sources:
+            assert source in ("worker-0", "worker-1")
+        for (_, frames) in data.stacks:
+            if frames and frames[0].startswith("worker-"):
+                assert frames[0] in ("worker-0", "worker-1")
+
+    def test_disabled_profiler_ships_nothing(self, graph, inputs):
+        tracer, _ = obs.enable()
+        try:
+            _, _, report = _run(graph, inputs, "process", 2)
+        finally:
+            obs.disable()
+        for worker_report in report.worker_reports:
+            payload = worker_report.telemetry
+            assert payload is not None  # tracer was live: spans shipped
+            assert payload["profile"] is None
+
+    def test_no_telemetry_payload_when_obs_disabled(self, graph, inputs):
+        _, _, report = _run(graph, inputs, "process", 2)
+        assert all(r.telemetry is None for r in report.worker_reports)

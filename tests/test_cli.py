@@ -407,3 +407,79 @@ class TestLiveTelemetryCommands:
             assert args.serve_metrics == 0
             args = build_parser().parse_args(command)
             assert args.serve_metrics is None
+
+
+class TestProfilingCommands:
+    def test_sampling_flags_parse(self):
+        for command in (["train", "products"], ["profile"]):
+            args = build_parser().parse_args(command)
+            assert args.sampling is None and args.flame is None
+            args = build_parser().parse_args(command + ["--sampling", "50"])
+            assert args.sampling == 50.0
+
+    def test_sampling_rejects_nonpositive_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--sampling", "0"])
+
+    def test_profile_diff_parses_as_subcommand(self):
+        args = build_parser().parse_args(["profile", "diff", "a.json", "b.json"])
+        assert args.baseline == "a.json" and args.candidate == "b.json"
+        assert args.threshold == 0.25 and args.min_seconds == 0.02
+
+    def test_profile_sampling_prints_phase_table_and_flame(
+        self, tmp_path, capsys
+    ):
+        flame = tmp_path / "flame.folded"
+        report = tmp_path / "run.json"
+        code = main([
+            "profile", "--vertices", "300", "--epochs", "2",
+            "--features", "16", "--hidden", "16", "--workers", "2",
+            "--sampling", "400", "--flame", str(flame),
+            "--json", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled profile" in out
+        assert "phase" in out and "samples" in out
+        assert flame.exists()
+        import json as json_module
+
+        doc = json_module.loads(report.read_text())
+        assert doc["profile"]["hz"] == 400.0
+        assert doc["meta"]["sampling_hz"] == 400.0
+        assert "span_phase_seconds" in doc
+        # Every flame line is "phase;frame;... count".
+        for line in flame.read_text().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 0
+
+    def test_train_flame_implies_sampling(self, tmp_path, capsys):
+        flame = tmp_path / "train.folded"
+        code = main([
+            "train", "products", "--scale", "0.02", "--epochs", "1",
+            "--features", "8", "--hidden", "8", "--flame", str(flame),
+        ])
+        assert code == 0
+        assert "sampled profile" in capsys.readouterr().out
+        assert flame.exists()
+
+    def test_profile_diff_exit_codes(self, tmp_path, capsys):
+        import json as json_module
+        import os
+
+        data_dir = os.path.join(os.path.dirname(__file__), "data")
+        baseline = os.path.join(data_dir, "profile_baseline.json")
+        regressed = os.path.join(data_dir, "profile_regressed.json")
+        assert main(["profile", "diff", baseline, baseline]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        assert main(["profile", "diff", baseline, regressed]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # A document without a sampled profile is a usage error (2).
+        bare = tmp_path / "noprofile.json"
+        bare.write_text(json_module.dumps({"schema": 1, "spans": []}))
+        assert main(["profile", "diff", baseline, str(bare)]) == 2
+        assert "no sampled profile" in capsys.readouterr().err
+
+    def test_profile_diff_missing_file_is_usage_error(self, capsys):
+        assert main(["profile", "diff", "/nonexistent/a.json", "/nonexistent/b.json"]) == 2
+        assert "profile diff:" in capsys.readouterr().err
