@@ -302,6 +302,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.model, args.features, args.hidden, args.classes,
         num_layers=args.layers, dropout=args.dropout, seed=args.seed,
     )
+    if args.shards > 1:
+        return _train_sharded(args, graph, features, labels, model)
     kernel = _make_aggregation_kernel(args.backend, args.workers, engine=args.engine)
     if kernel is not None:
         print(
@@ -367,6 +369,72 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if rules is not None:
         print(rules.summary())
     return status
+
+
+def _train_sharded(args, graph, features, labels, model) -> int:
+    """The ``--shards N`` path of ``repro train``: partition-parallel
+    training on the sharded shared-memory trainer."""
+    from .nn import Adam
+    from .parallel.sharded import ShardedTrainer
+
+    if args.dropout:
+        print("sharded training requires --dropout 0", file=sys.stderr)
+        return 2
+    for flag, name in ((args.events, "--events"), (args.health, "--health"),
+                       (args.rules, "--rules")):
+        if flag:
+            print(
+                f"note: {name} is not supported with --shards; ignoring",
+                file=sys.stderr,
+            )
+    delayed = tuple(args.delay_aggregation or ())
+    meta = {
+        "command": "train",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "model": args.model,
+        "epochs": args.epochs,
+        "shards": args.shards,
+        "partition": args.partition,
+        "backend": args.backend,
+        "delayed_layers": list(delayed),
+        "halo_refresh": args.halo_refresh,
+    }
+    trainer = ShardedTrainer(
+        graph, model, Adam(model, lr=args.lr),
+        num_shards=args.shards,
+        partition_method=args.partition,
+        backend=args.backend,
+        delayed_layers=delayed,
+        halo_refresh=args.halo_refresh,
+    )
+    extras: dict = {}
+    with _telemetry(args, meta, extras=extras):
+        with trainer:
+            trainer.fit(features, labels, epochs=0)  # partition + attach
+            part = trainer.partition
+            print(
+                f"partition: {args.partition} x{args.shards} "
+                f"(edge cut {part.edge_cut(graph)} = "
+                f"{part.cut_fraction(graph):.1%}, "
+                f"balance {part.balance:.3f}), "
+                f"worker payload {max(trainer.setup_bytes)} B"
+            )
+            halo = sum(shard.num_halo for shard in trainer.shards)
+            print(
+                f"halo vertices: {halo} total "
+                f"({halo / max(1, graph.num_vertices):.2f}x of |V|)"
+                + (f", delayed layers {list(delayed)} "
+                   f"refresh every {args.halo_refresh}" if delayed else "")
+            )
+            for _ in range(args.epochs):
+                result = trainer.train_epoch()
+                print(
+                    f"epoch {result.epoch:>3}  loss {result.loss:.4f}  "
+                    f"train-acc {result.train_accuracy:.3f}  "
+                    f"halo {trainer.last_halo_bytes / 2**20:.2f} MiB"
+                )
+    return 0
 
 
 def _bench_training_epochs(args, graph, engine) -> dict:
@@ -524,6 +592,110 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         label = args.history_label or f"bench-parallel-{engine}"
         entry = hist.entry_from_run_report(report, label=label)
         entry.metrics.update(train_metrics)
+        hist.append_history(args.history, entry)
+        print(f"appended history entry {label!r} to {args.history}")
+    return 0
+
+
+def _cmd_bench_sharded(args: argparse.Namespace) -> int:
+    """Scaling-efficiency benchmark of the sharded trainer.
+
+    Sweeps shard counts on a synthetic twin (``--scale 10`` ≈ 10× the
+    usual dataset sizes), reporting epochs/s, parallel efficiency
+    relative to the smallest swept count, and halo traffic — the
+    ``bench-parallel-sharded`` history row.
+    """
+    import time as time_module
+
+    from .bench.harness import Experiment
+    from .graphs import load_dataset, synthetic_features
+    from .nn import Adam, build_model
+    from .parallel.sharded import ShardedTrainer
+
+    print(f"generating {args.dataset} twin at scale {args.scale}x ...")
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    features = synthetic_features(graph, args.features, seed=args.seed)
+    labels = np.random.default_rng(args.seed).integers(
+        0, args.classes, graph.num_vertices
+    )
+    delayed = tuple(args.delay_aggregation or ())
+    exp = Experiment(
+        "bench-sharded",
+        f"sharded {args.partition}-partition training on {args.dataset} "
+        f"{args.scale}x ({graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges; {args.backend} backend)",
+    )
+    meta = {
+        "command": "bench-sharded",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "shards": list(args.shards),
+        "partition": args.partition,
+        "backend": args.backend,
+        "epochs": args.epochs,
+        "delayed_layers": list(delayed),
+        "halo_refresh": args.halo_refresh,
+    }
+    sharded_metrics: dict = {}
+    extras: dict = {}
+    base_rate: Optional[float] = None
+    base_shards: Optional[int] = None
+    with _telemetry(args, meta, extras=extras):
+        for shards in args.shards:
+            model = build_model(
+                "gcn", args.features, args.hidden, args.classes,
+                num_layers=args.layers, dropout=0.0, seed=args.seed,
+            )
+            trainer = ShardedTrainer(
+                graph, model, Adam(model, lr=args.lr),
+                num_shards=shards,
+                partition_method=args.partition,
+                backend=args.backend,
+                delayed_layers=delayed,
+                halo_refresh=args.halo_refresh,
+            )
+            with trainer:
+                trainer.fit(features, labels, epochs=1)  # setup + warmup
+                start = time_module.perf_counter()
+                for _ in range(args.epochs):
+                    trainer.train_epoch()
+                elapsed = time_module.perf_counter() - start
+                epoch_s = elapsed / args.epochs
+                rate = 1.0 / epoch_s
+                halo_mb = trainer.last_halo_bytes / 2**20
+                cut = trainer.partition.cut_fraction(graph)
+                setup_max = max(trainer.setup_bytes)
+            if base_rate is None:
+                base_rate, base_shards = rate, shards
+            efficiency = (rate / shards) / (base_rate / base_shards)
+            exp.add(f"{shards} shards epoch time", epoch_s, unit="s")
+            exp.add(f"{shards} shards throughput", rate, unit="epochs/s")
+            exp.add(f"{shards} shards efficiency", efficiency, unit="x")
+            exp.note(
+                f"{shards} shards: cut {cut:.1%}, halo {halo_mb:.2f} MiB/epoch,"
+                f" worker payload {setup_max} B"
+            )
+            prefix = f"sharded.shards{shards}"
+            sharded_metrics[f"{prefix}.epoch_s"] = epoch_s
+            sharded_metrics[f"{prefix}.epochs_per_s"] = rate
+            sharded_metrics[f"{prefix}.efficiency"] = efficiency
+            sharded_metrics[f"{prefix}.halo_mb_per_epoch"] = halo_mb
+            sharded_metrics[f"{prefix}.setup_bytes"] = float(setup_max)
+            sharded_metrics["sharded.partition.cut_fraction"] = cut
+    print(exp.render())
+
+    if args.history:
+        from .obs import history as hist
+
+        report = extras.get("report")
+        if report is None:  # pragma: no cover - _telemetry always builds it
+            print("no run report captured; history row skipped", file=sys.stderr)
+            return 2
+        label = args.history_label or "bench-parallel-sharded"
+        entry = hist.entry_from_run_report(report, label=label, meta=meta)
+        entry.metrics.update(sharded_metrics)
         hist.append_history(args.history, entry)
         print(f"appended history entry {label!r} to {args.history}")
     return 0
@@ -904,6 +1076,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk-execution engine (default: batched, or $REPRO_ENGINE); "
         "forces the basic kernel even for serial x1",
     )
+    p.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition-parallel sharded training with N shard workers "
+        "(--backend picks serial/thread/process; process runs the "
+        "zero-copy shared-memory pool); 1 = classic full-graph trainer",
+    )
+    p.add_argument(
+        "--partition", choices=["contiguous", "bfs", "greedy"],
+        default="greedy",
+        help="edge-cut partition method for --shards > 1",
+    )
+    p.add_argument(
+        "--delay-aggregation", type=int, nargs="*", default=[],
+        metavar="LAYER",
+        help="layers (>= 1) running DistGNN-style delayed aggregation: "
+        "their halo refreshes only every --halo-refresh epochs",
+    )
+    p.add_argument(
+        "--halo-refresh", type=_positive_int, default=8,
+        help="refresh period (epochs) for --delay-aggregation layers",
+    )
     p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
     p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
     p.add_argument(
@@ -1026,6 +1219,49 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = ephemeral port); implies --sample-proc",
     )
     p.set_defaults(func=_cmd_bench_parallel)
+
+    p = sub.add_parser(
+        "bench-sharded",
+        help="scaling-efficiency benchmark of the sharded trainer "
+        "(synthetic twins 10-100x via --scale)",
+    )
+    p.add_argument(
+        "dataset", nargs="?", default="products",
+        choices=["products", "wikipedia", "papers", "twitter"],
+    )
+    p.add_argument("--scale", type=float, default=10.0)
+    p.add_argument("--shards", type=_positive_int, nargs="+", default=[1, 2, 4])
+    p.add_argument(
+        "--partition", choices=["contiguous", "bfs", "greedy"],
+        default="greedy",
+    )
+    p.add_argument(
+        "--backend", choices=["serial", "thread", "process"],
+        default="process",
+    )
+    p.add_argument("--epochs", type=_positive_int, default=3)
+    p.add_argument("--features", type=int, default=32)
+    p.add_argument("--hidden", type=int, default=32)
+    p.add_argument("--classes", type=int, default=8)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--delay-aggregation", type=int, nargs="*", default=[],
+        metavar="LAYER",
+    )
+    p.add_argument("--halo-refresh", type=_positive_int, default=8)
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="append this run's metrics as a JSONL perf-history row",
+    )
+    p.add_argument(
+        "--history-label", default=None,
+        help="history row label (default bench-parallel-sharded)",
+    )
+    p.set_defaults(func=_cmd_bench_sharded)
 
     p = sub.add_parser(
         "profile",

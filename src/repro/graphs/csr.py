@@ -78,7 +78,12 @@ class CSRGraph:
         """
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
-        arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if isinstance(edges, np.ndarray):
+            # Fast path for array input (e.g. the streaming edge-list
+            # loader): no per-edge Python tuple materialization.
+            arr = np.ascontiguousarray(edges, dtype=np.int64).reshape(-1, 2)
+        else:
+            arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
         if arr.size and (arr.min() < 0 or arr.max() >= num_vertices):
             raise GraphError("edge endpoint out of range")
         if deduplicate and arr.size:

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import Iterable, Tuple, Union
 
 import numpy as np
 
 from .csr import CSRGraph, GraphError
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+_INITIAL_EDGE_CAPACITY = 1024
 
 
 def save_npz(graph: CSRGraph, path: PathLike) -> None:
@@ -29,15 +31,17 @@ def load_npz(path: PathLike) -> CSRGraph:
         return CSRGraph(indptr=data["indptr"], indices=data["indices"], name=name)
 
 
-def parse_edge_list(text: str, name: str = "edgelist") -> CSRGraph:
-    """Parse a whitespace-separated ``dst src`` edge list.
+def _stream_edges(lines: Iterable[str]) -> Tuple[np.ndarray, int]:
+    """Parse ``dst src`` lines into a growing ``(m, 2)`` int64 buffer.
 
-    Lines starting with ``#`` or ``%`` are comments.  Vertex count is
-    ``max id + 1``.
+    The buffer doubles amortized-O(1) instead of accumulating an O(E)
+    Python tuple list, so million-edge lists parse without the
+    per-edge Python-object blowup.
     """
-    edges = []
+    buf = np.empty((_INITIAL_EDGE_CAPACITY, 2), dtype=np.int64)
+    count = 0
     max_id = -1
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line[0] in "#%":
             continue
@@ -50,13 +54,34 @@ def parse_edge_list(text: str, name: str = "edgelist") -> CSRGraph:
             raise GraphError(f"line {lineno}: non-integer vertex id") from exc
         if dst < 0 or src < 0:
             raise GraphError(f"line {lineno}: negative vertex id")
-        edges.append((dst, src))
-        max_id = max(max_id, dst, src)
+        if count == len(buf):
+            grown = np.empty((len(buf) * 2, 2), dtype=np.int64)
+            grown[:count] = buf
+            buf = grown
+        buf[count, 0] = dst
+        buf[count, 1] = src
+        count += 1
+        if dst > max_id:
+            max_id = dst
+        if src > max_id:
+            max_id = src
+    return buf[:count], max_id
+
+
+def parse_edge_list(text: str, name: str = "edgelist") -> CSRGraph:
+    """Parse a whitespace-separated ``dst src`` edge list.
+
+    Lines starting with ``#`` or ``%`` are comments.  Vertex count is
+    ``max id + 1``.
+    """
+    edges, max_id = _stream_edges(text.splitlines())
     return CSRGraph.from_edges(max_id + 1, edges, name=name)
 
 
 def load_edge_list(path: PathLike, name: str = "") -> CSRGraph:
-    """Read an edge-list file from disk."""
+    """Read an edge-list file from disk, streaming line by line."""
     with open(path) as handle:
-        text = handle.read()
-    return parse_edge_list(text, name=name or os.path.basename(str(path)))
+        edges, max_id = _stream_edges(handle)
+    return CSRGraph.from_edges(
+        max_id + 1, edges, name=name or os.path.basename(str(path))
+    )

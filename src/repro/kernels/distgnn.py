@@ -1,9 +1,18 @@
-"""The DistGNN baseline kernel (Section 6).
+"""DistGNN-style kernels (Section 6): the baseline aggregation and the
+shard-level primitives of the partition-parallel trainer.
 
 DistGNN provides the paper's single-socket state of the art: a
 vertex-parallel gather-reduce with static chunking, no software-prefetch
 tuning and no JIT specialization.  This reproduction mirrors that
 structure: plain per-vertex reduction over statically partitioned chunks.
+
+The shard helpers below power ``repro.parallel.sharded``: each worker
+owns one partition's rows as a local CSR (see ``graphs.partition``) and
+aggregates with :func:`shard_segment_reduce` over an input matrix whose
+first ``num_local`` rows are owned features and whose tail rows are halo
+(ghost) copies of remote vertices.  DistGNN's *delayed aggregation*
+(cd-0/cd-r in the paper's terminology) maps onto this layout by simply
+refreshing the halo tail less often than every epoch.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from typing import Tuple
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..graphs.partition import GraphShard
 from ..nn.aggregate import normalization_factors
 from .base import AggregationKernel, KernelStats, validate_inputs
 
@@ -49,3 +59,50 @@ class DistGNNKernel(AggregationKernel):
                 stats.gathers += len(row) + 1
         stats.flops = 2.0 * stats.gathers * h.shape[1]
         return out, stats
+
+
+# ----------------------------------------------------------------------
+# Shard-level primitives for partition-parallel training
+# ----------------------------------------------------------------------
+
+
+def shard_factors(
+    edge_factors: np.ndarray, self_factors: np.ndarray, shard: GraphShard
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Restrict global ψ normalization factors to one shard.
+
+    Edge factors follow the shard's edges via ``edge_positions`` (each
+    shard edge keeps its *global*-degree normalization — this is what
+    makes sharded aggregation exactly match the serial result); self
+    factors restrict to the owned rows.
+    """
+    return (
+        np.ascontiguousarray(edge_factors[shard.edge_positions]),
+        np.ascontiguousarray(self_factors[shard.local_vertices]),
+    )
+
+
+def shard_segment_reduce(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_factors: np.ndarray,
+    self_factors: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Per-shard gather-reduce: ``a[v] = ψ_v x[v] + Σ_e ψ_e x[col(e)]``.
+
+    ``x`` has ``num_local + num_halo`` rows (owned features then halo
+    copies); the result has ``num_local`` rows.  Mirrors the batched
+    engine's pre-scaled gather + ``np.add.reduceat`` ordering so the
+    per-row floating-point sums match the serial kernel's.
+    """
+    n_local = len(indptr) - 1
+    out = x[:n_local] * self_factors[:, None]
+    if len(indices):
+        gathered = x[indices] * edge_factors[:, None]
+        degs = np.diff(indptr)
+        nonempty = np.flatnonzero(degs)
+        if len(nonempty):
+            segments = np.add.reduceat(gathered, indptr[:-1][nonempty], axis=0)
+            out[nonempty] += segments
+    return out.astype(np.float32, copy=False)

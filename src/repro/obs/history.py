@@ -41,7 +41,7 @@ BASELINE_FLOOR = 1e-12
 
 #: Metric-name suffixes gated as higher-is-better without an explicit
 #: ``higher_is_better`` list (speedup ratios regress *downward*).
-HIGHER_IS_BETTER_SUFFIXES = ("speedup_x",)
+HIGHER_IS_BETTER_SUFFIXES = ("speedup_x", "epochs_per_s", "efficiency")
 
 
 def default_higher_is_better(names: Iterable[str]) -> set:

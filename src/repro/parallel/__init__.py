@@ -15,6 +15,13 @@ in ``tests/integration/test_backend_equivalence.py`` enforces it.
 """
 
 from .executor import BACKENDS, ChunkExecutor, ExecutionReport, WorkerReport
+from .sharded import (
+    SHARD_BACKENDS,
+    ShardedConfig,
+    ShardedTrainer,
+    ShardRuntime,
+)
+from .shm import ArrayBundle, BundleSpec
 from .plan import (
     Chunk,
     ChunkPlan,
@@ -30,6 +37,12 @@ from .workload import (
 
 __all__ = [
     "BACKENDS",
+    "SHARD_BACKENDS",
+    "ShardedConfig",
+    "ShardedTrainer",
+    "ShardRuntime",
+    "ArrayBundle",
+    "BundleSpec",
     "ChunkExecutor",
     "ExecutionReport",
     "WorkerReport",

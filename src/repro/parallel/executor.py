@@ -228,7 +228,9 @@ class ChunkExecutor:
             )
         wall_start = time.perf_counter()
         try:
-            if self.backend == "process" and plan.num_chunks:
+            if self.backend == "process":
+                # _run_process short-circuits an all-empty assignment to
+                # idle reports, so no special empty-plan routing needed.
                 reports = self._run_process(workload, assignment, outputs)
             elif self.backend == "thread" and self.workers > 1:
                 reports = self._run_threads(workload, assignment, outputs, queue_gauge)
@@ -410,6 +412,20 @@ class ChunkExecutor:
             if chunks
         ]
         idle = [worker_id for worker_id, chunks in enumerate(assignment) if not chunks]
+        if not busy:
+            # All-empty assignment: nothing to compute, so skip the pool
+            # entirely — a ProcessPoolExecutor would still fork workers
+            # and pickle the whole workload through the initializer.
+            return [
+                WorkerReport(
+                    worker_id=worker_id,
+                    num_chunks=0,
+                    num_vertices=0,
+                    elapsed_s=0.0,
+                    stats=KernelStats(),
+                )
+                for worker_id in idle
+            ]
         profiler = get_profiler()
         plan = WorkerTelemetryPlan(
             telemetry=get_tracer().enabled or get_metrics().enabled,

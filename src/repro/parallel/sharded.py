@@ -1,0 +1,778 @@
+"""Partition-parallel sharded training over shared memory.
+
+The scale story of ROADMAP item 2: instead of every worker holding the
+full CSR (and the process backend re-pickling the graph into each pool),
+the graph is split by an edge-cut partitioner
+(:func:`repro.graphs.partition.edge_cut_partition`) into per-worker
+shards — local CSR rows plus halo (ghost) vertex maps — and ALL
+graph-sized state (shard CSR arrays, ψ factors, features, labels, masks,
+and the per-layer exchange boards) lives in one
+``multiprocessing.shared_memory`` segment (:class:`~repro.parallel.shm.
+ArrayBundle`).  Workers attach by name and build zero-copy numpy views:
+the only bytes that ever cross a pickle boundary are the bundle spec +
+config at startup (O(#arrays), asserted bounded in the tests) and the
+layer weights each epoch (O(model), not O(graph)).
+
+Training runs bulk-synchronous per layer.  Each layer's halo exchange is
+a shared-memory "board": every worker writes its owned rows of ``h_k``,
+a barrier flips the phase, then workers gather the halo rows they need.
+The backward pass runs the same protocol over the transposed shards
+(``grad_h = Âᵀ grad_a``).  DistGNN-style *delayed aggregation* marks
+layers whose halo is refreshed only every ``halo_refresh`` epochs: on
+the epochs between refreshes the forward pass reuses the stale halo
+block already sitting in the worker's input buffer, the backward pass
+drops the remote gradient contributions (they flowed through stale
+constants), and the barrier disappears along with the traffic.  With
+``halo_refresh=1`` delayed layers degenerate to exact training.
+
+The barrier schedule is a pure function of (layer, epoch, config), so
+every worker derives the identical sequence — no tags, no deadlocks.
+Epoch boundaries synchronize through the parent: it collects every
+worker's partial result (loss/accuracy sums, per-layer ``grad_W``,
+``grad_b``) before broadcasting the next epoch's weights, sums partials
+in worker order (float64) and takes one optimizer step on the parent's
+model — all shards therefore always see identical weights.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.partition import (
+    GraphShard,
+    PartitionResult,
+    build_shards,
+    edge_cut_partition,
+)
+from ..kernels.distgnn import shard_factors, shard_segment_reduce
+from ..nn import functional as F
+from ..nn.aggregate import normalization_factors
+from ..nn.layers import LayerGrads
+from ..nn.model import GNNModel
+from ..nn.optim import Optimizer
+from ..nn.training import EpochResult, TrainingHistory
+from ..obs import get_metrics, get_tracer
+from .shm import ArrayBundle
+
+SHARD_BACKENDS = ("serial", "thread", "process")
+
+_RESULT_TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """The picklable shape of one GNN layer (no parameters)."""
+
+    in_features: int
+    out_features: int
+    aggregator: str
+    activation: bool
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Everything a worker needs besides the shared arrays.
+
+    Small and picklable: its byte size is part of the zero-copy
+    guarantee (workers receive this + the bundle spec, nothing else).
+    """
+
+    num_shards: int
+    layers: Tuple[LayerSpec, ...]
+    delayed_layers: Tuple[int, ...]
+    halo_refresh: int
+    train_count: int
+    val_count: int
+    has_val_mask: bool
+
+    @property
+    def aggregators(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.aggregator for spec in self.layers}))
+
+    def exchange_needed(self, layer: int, epoch: int) -> bool:
+        """Whether ``layer`` exchanges halos on ``epoch``.
+
+        Pure function of (layer, epoch, config): every worker computes
+        the same barrier schedule from it.  Non-delayed layers exchange
+        every epoch; delayed layers only on refresh epochs (epoch 0 is
+        always a refresh, so training never starts from garbage halos).
+        """
+        if layer not in self.delayed_layers:
+            return True
+        return epoch % self.halo_refresh == 0
+
+
+class ShardRuntime:
+    """One shard's slice of the training loop, phase by phase.
+
+    Binds zero-copy views over the shared bundle and owns the private
+    per-layer input buffers whose tail rows hold the halo copies.  The
+    phase methods (``forward_layer`` → ``loss_grad`` →
+    ``backward_update`` → ``backward_aggregate``) are driven either by a
+    worker loop (thread/process backends, with real barriers between
+    phases) or interleaved across runtimes by the serial backend.
+    """
+
+    def __init__(self, bundle: ArrayBundle, part: int, config: ShardedConfig):
+        self.cfg = config
+        self.part = part
+        prefix = f"s{part}."
+        self.local = bundle.view(prefix + "local")
+        self.halo = bundle.view(prefix + "halo")
+        self.indptr = bundle.view(prefix + "indptr")
+        self.indices = bundle.view(prefix + "indices")
+        self.t_halo = bundle.view(prefix + "t_halo")
+        self.t_indptr = bundle.view(prefix + "t_indptr")
+        self.t_indices = bundle.view(prefix + "t_indices")
+        self.factors = {
+            agg: (
+                bundle.view(f"{prefix}ef.{agg}"),
+                bundle.view(f"{prefix}sf.{agg}"),
+                bundle.view(f"{prefix}tef.{agg}"),
+            )
+            for agg in config.aggregators
+        }
+        self.features = bundle.view("x")
+        num_layers = len(config.layers)
+        self.boards_h = [bundle.view(f"h{k}") for k in range(num_layers)]
+        self.boards_g: List[Optional[np.ndarray]] = [None] + [
+            bundle.view(f"g{k}") for k in range(1, num_layers)
+        ]
+        self.labels_local = bundle.view("labels")[self.local]
+        self.train_mask_local = bundle.view("train_mask")[self.local]
+        self.val_mask_local = bundle.view("val_mask")[self.local]
+        self.n_local = len(self.local)
+        n_in = self.n_local + len(self.halo)
+        n_t = self.n_local + len(self.t_halo)
+        self._x = [
+            np.zeros((n_in, spec.in_features), dtype=np.float32)
+            for spec in config.layers
+        ]
+        self._xg: List[Optional[np.ndarray]] = [None] + [
+            np.zeros((n_t, spec.in_features), dtype=np.float32)
+            for spec in config.layers[1:]
+        ]
+        self._x0_ready = False
+        self.weights: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._a: List[Optional[np.ndarray]] = [None] * num_layers
+        self._pre: List[Optional[np.ndarray]] = [None] * num_layers
+        self._h: List[Optional[np.ndarray]] = [None] * num_layers
+        self._gw: List[Optional[np.ndarray]] = [None] * num_layers
+        self._gb: List[Optional[np.ndarray]] = [None] * num_layers
+        self._grad_a: Optional[np.ndarray] = None
+        self._grad_out: Optional[np.ndarray] = None
+        self.halo_bytes = 0
+        self.exchanges = 0
+        self.exchanges_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def begin_epoch(self, weights: Sequence[Tuple[np.ndarray, np.ndarray]]):
+        self.weights = list(weights)
+        self.halo_bytes = 0
+        self.exchanges = 0
+        self.exchanges_skipped = 0
+
+    def forward_layer(self, layer: int, epoch: int) -> None:
+        spec = self.cfg.layers[layer]
+        x = self._x[layer]
+        nl = self.n_local
+        if layer == 0:
+            # Input features are static: gather own + halo rows once and
+            # keep them for the whole run — layer 0 never exchanges.
+            if not self._x0_ready:
+                x[:nl] = self.features[self.local]
+                x[nl:] = self.features[self.halo]
+                self._x0_ready = True
+        else:
+            x[:nl] = self._h[layer - 1]
+            if self.cfg.exchange_needed(layer, epoch):
+                x[nl:] = self.boards_h[layer - 1][self.halo]
+                self.halo_bytes += x[nl:].nbytes
+                self.exchanges += 1
+            else:
+                # Delayed aggregation: the stale halo block from the last
+                # refresh epoch stays in place — zero traffic, no barrier.
+                self.exchanges_skipped += 1
+        edge_f, self_f, _ = self.factors[spec.aggregator]
+        a = shard_segment_reduce(self.indptr, self.indices, edge_f, self_f, x)
+        weight, bias = self.weights[layer]
+        pre = a @ weight + bias
+        self._a[layer] = a
+        self._pre[layer] = pre
+        self._h[layer] = F.relu(pre) if spec.activation else pre
+        self.boards_h[layer][self.local] = self._h[layer]
+
+    def loss_grad(self) -> None:
+        """Masked cross-entropy partials over the owned rows.
+
+        Replicates :func:`repro.nn.functional.cross_entropy` numerics
+        exactly per row (float64 softmax, 1e-12 clip, global-count
+        division); only the final summation is split across shards.
+        """
+        logits = self._h[-1]
+        probs = F.softmax(logits.astype(np.float64))
+        rows = np.arange(len(logits))
+        picked = probs[rows, self.labels_local]
+        grad = probs
+        grad[rows, self.labels_local] -= 1.0
+        mask = self.train_mask_local
+        self._loss_sum = float(
+            -np.log(np.clip(picked[mask], 1e-12, None)).sum()
+        )
+        grad[~mask] = 0.0
+        grad /= self.cfg.train_count
+        self._grad_out = grad.astype(np.float32)
+        pred = logits.argmax(axis=1)
+        correct = pred == self.labels_local
+        self._train_correct = int(correct[mask].sum())
+        self._val_correct = (
+            int(correct[self.val_mask_local].sum())
+            if self.cfg.has_val_mask
+            else 0
+        )
+
+    def backward_update(self, layer: int) -> None:
+        spec = self.cfg.layers[layer]
+        if spec.activation:
+            grad_pre = self._grad_out * (self._pre[layer] > 0)
+        else:
+            grad_pre = self._grad_out
+        self._gw[layer] = self._a[layer].T @ grad_pre
+        self._gb[layer] = grad_pre.sum(axis=0)
+        if layer > 0:
+            grad_a = grad_pre @ self.weights[layer][0].T
+            self._grad_a = grad_a
+            self.boards_g[layer][self.local] = grad_a
+
+    def backward_aggregate(self, layer: int, epoch: int) -> None:
+        spec = self.cfg.layers[layer]
+        xg = self._xg[layer]
+        nl = self.n_local
+        xg[:nl] = self._grad_a
+        if self.cfg.exchange_needed(layer, epoch):
+            xg[nl:] = self.boards_g[layer][self.t_halo]
+            self.halo_bytes += xg[nl:].nbytes
+            self.exchanges += 1
+        else:
+            # Delayed layer between refreshes: the forward consumed stale
+            # remote activations (constants w.r.t. current weights), so
+            # the remote gradient contributions are dropped — DistGNN's
+            # local-only backward with periodic synchronization.
+            xg[nl:] = 0.0
+            self.exchanges_skipped += 1
+        _, self_f, t_edge_f = self.factors[spec.aggregator]
+        self._grad_out = shard_segment_reduce(
+            self.t_indptr, self.t_indices, t_edge_f, self_f, xg
+        )
+
+    def epoch_result(self) -> Dict:
+        return {
+            "loss_sum": self._loss_sum,
+            "train_correct": self._train_correct,
+            "val_correct": self._val_correct,
+            "grad_w": [g for g in self._gw],
+            "grad_b": [g for g in self._gb],
+            "halo_bytes": self.halo_bytes,
+            "exchanges": self.exchanges,
+            "exchanges_skipped": self.exchanges_skipped,
+            "pid": os.getpid(),
+        }
+
+
+def _run_worker_epoch(runtime: ShardRuntime, epoch: int, weights, sync) -> Dict:
+    """One bulk-synchronous epoch on one shard.
+
+    ``sync`` is the barrier (``threading.Barrier.wait`` or
+    ``multiprocessing.Barrier.wait``); it is invoked on the schedule
+    derived from :meth:`ShardedConfig.exchange_needed`, identically in
+    every worker.
+    """
+    runtime.begin_epoch(weights)
+    cfg = runtime.cfg
+    num_layers = len(cfg.layers)
+    for layer in range(num_layers):
+        if layer > 0 and cfg.exchange_needed(layer, epoch):
+            sync()  # everyone has written boards_h[layer - 1]
+        runtime.forward_layer(layer, epoch)
+    runtime.loss_grad()
+    for layer in range(num_layers - 1, -1, -1):
+        runtime.backward_update(layer)
+        if layer > 0:
+            if cfg.exchange_needed(layer, epoch):
+                sync()  # everyone has written boards_g[layer]
+            runtime.backward_aggregate(layer, epoch)
+    return runtime.epoch_result()
+
+
+def _shard_worker_main(part, spec, config, cmd_queue, result_queue, barrier):
+    """Persistent process-backend worker: attach once, train forever."""
+    bundle = ArrayBundle.attach(spec)
+    runtime = ShardRuntime(bundle, part, config)
+    try:
+        while True:
+            msg = cmd_queue.get()
+            if msg[0] == "stop":
+                break
+            _, epoch, weights = msg
+            try:
+                start = time.perf_counter()
+                result = _run_worker_epoch(runtime, epoch, weights, barrier.wait)
+                result["wall_s"] = time.perf_counter() - start
+                result_queue.put((part, "ok", result))
+            except BaseException:
+                barrier.abort()  # unblock peers; they error out too
+                result_queue.put((part, "error", traceback.format_exc()))
+                break
+    finally:
+        runtime = None
+        bundle.close()
+
+
+class ShardedTrainer:
+    """Partition-parallel full-batch trainer.
+
+    Args:
+        graph: the full CSR graph (parent-side only; never shipped).
+        model: a :class:`GNNModel` with zero dropout (the sharded loop
+            has no cross-shard RNG reproducibility story for masks).
+        optimizer: steps on the parent model from summed partial grads.
+        num_shards: worker/shard count.
+        partition_method: ``contiguous`` / ``bfs`` / ``greedy``.
+        backend: ``serial`` (interleaved in-process, the reference),
+            ``thread``, or ``process`` (shared-memory flagship).
+        delayed_layers: layer indices (≥ 1) running DistGNN-style
+            delayed aggregation.
+        halo_refresh: refresh period (epochs) for delayed layers;
+            ``1`` makes delayed layers exact.
+        refine_passes: boundary-refinement rounds for the partitioner.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        model: GNNModel,
+        optimizer: Optimizer,
+        num_shards: int = 2,
+        partition_method: str = "greedy",
+        backend: str = "process",
+        delayed_layers: Sequence[int] = (),
+        halo_refresh: int = 8,
+        refine_passes: int = 1,
+    ) -> None:
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+            )
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if halo_refresh < 1:
+            raise ValueError("halo_refresh must be >= 1")
+        num_layers = model.num_layers
+        for layer_idx in delayed_layers:
+            if not 1 <= layer_idx < num_layers:
+                raise ValueError(
+                    f"delayed layer {layer_idx} out of range [1, {num_layers});"
+                    " layer 0 reads static input features and never exchanges"
+                )
+        for layer in model.layers:
+            if layer.dropout:
+                raise ValueError(
+                    "sharded training requires dropout=0 on every layer"
+                )
+        self.graph = graph
+        self.model = model
+        self.optimizer = optimizer
+        self.num_shards = num_shards
+        self.partition_method = partition_method
+        self.backend = backend
+        self.delayed_layers = tuple(sorted(set(int(i) for i in delayed_layers)))
+        self.halo_refresh = halo_refresh
+        self.refine_passes = refine_passes
+        self.history = TrainingHistory()
+        self.partition: Optional[PartitionResult] = None
+        self.shards: Optional[List[GraphShard]] = None
+        self.setup_bytes: List[int] = []
+        self.epoch_message_bytes = 0
+        self.last_halo_bytes = 0
+        self.last_exchanges = 0
+        self.last_exchanges_skipped = 0
+        self._bundle: Optional[ArrayBundle] = None
+        self._config: Optional[ShardedConfig] = None
+        self._runtimes: List[ShardRuntime] = []
+        self._workers: List[mp.Process] = []
+        self._cmd_queues = []
+        self._result_queue = None
+        self._barrier = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _setup(self, features, labels, train_mask, val_mask) -> None:
+        tracer = get_tracer()
+        metrics = get_metrics()
+        graph = self.graph
+        n = graph.num_vertices
+        with tracer.span(
+            "shard.partition", shards=self.num_shards,
+            method=self.partition_method,
+        ) as span:
+            self.partition = edge_cut_partition(
+                graph, self.num_shards, method=self.partition_method,
+                refine_passes=self.refine_passes,
+            )
+            self.shards = build_shards(graph, self.partition.assignment)
+            t_shards = build_shards(graph.transpose(), self.partition.assignment)
+            edge_cut = self.partition.edge_cut(graph)
+            span.set_attr("edge_cut", edge_cut)
+            span.set_attr("balance", self.partition.balance)
+        if metrics.enabled:
+            metrics.set_gauge("shard.workers", float(self.num_shards))
+            metrics.set_gauge("shard.partition.edge_cut", float(edge_cut))
+            metrics.set_gauge(
+                "shard.partition.cut_fraction",
+                self.partition.cut_fraction(graph),
+            )
+            metrics.set_gauge("shard.partition.balance", self.partition.balance)
+
+        specs = tuple(
+            LayerSpec(
+                in_features=layer.in_features,
+                out_features=layer.out_features,
+                aggregator=layer.aggregator,
+                activation=layer.activation,
+            )
+            for layer in self.model.layers
+        )
+        train_mask_arr = (
+            np.ones(n, dtype=bool) if train_mask is None
+            else np.asarray(train_mask, dtype=bool)
+        )
+        val_mask_arr = (
+            np.zeros(n, dtype=bool) if val_mask is None
+            else np.asarray(val_mask, dtype=bool)
+        )
+        self._config = ShardedConfig(
+            num_shards=self.num_shards,
+            layers=specs,
+            delayed_layers=self.delayed_layers,
+            halo_refresh=self.halo_refresh,
+            train_count=int(train_mask_arr.sum()),
+            val_count=int(val_mask_arr.sum()),
+            has_val_mask=val_mask is not None,
+        )
+        if self._config.train_count == 0:
+            raise ValueError("loss mask selects no vertices")
+
+        arrays: Dict[str, np.ndarray] = {
+            "x": np.ascontiguousarray(features, dtype=np.float32),
+            "labels": np.asarray(labels, dtype=np.int64),
+            "train_mask": train_mask_arr,
+            "val_mask": val_mask_arr,
+        }
+        for k, spec in enumerate(specs):
+            arrays[f"h{k}"] = np.zeros((n, spec.out_features), dtype=np.float32)
+            if k >= 1:
+                arrays[f"g{k}"] = np.zeros((n, spec.in_features), dtype=np.float32)
+        t_perm = graph.csc_arrays()[2]
+        factor_cache = {
+            agg: normalization_factors(graph, agg)
+            for agg in self._config.aggregators
+        }
+        for shard, t_shard in zip(self.shards, t_shards):
+            prefix = f"s{shard.part}."
+            arrays[prefix + "local"] = shard.local_vertices
+            arrays[prefix + "halo"] = shard.halo_vertices
+            arrays[prefix + "indptr"] = shard.indptr
+            arrays[prefix + "indices"] = shard.indices
+            arrays[prefix + "t_halo"] = t_shard.halo_vertices
+            arrays[prefix + "t_indptr"] = t_shard.indptr
+            arrays[prefix + "t_indices"] = t_shard.indices
+            for agg, (edge_f, self_f) in factor_cache.items():
+                shard_edge_f, shard_self_f = shard_factors(edge_f, self_f, shard)
+                arrays[f"{prefix}ef.{agg}"] = shard_edge_f
+                arrays[f"{prefix}sf.{agg}"] = shard_self_f
+                # Âᵀ edge factors: permute into the transposed edge
+                # layout, then restrict to the transposed shard's edges.
+                arrays[f"{prefix}tef.{agg}"] = np.ascontiguousarray(
+                    edge_f[t_perm][t_shard.edge_positions]
+                )
+
+        self._bundle = ArrayBundle.create(arrays, shared=self.backend == "process")
+        if self.backend == "process":
+            self._start_workers()
+        else:
+            self._runtimes = [
+                ShardRuntime(self._bundle, part, self._config)
+                for part in range(self.num_shards)
+            ]
+            self.setup_bytes = [
+                len(pickle.dumps(self._config))
+            ] * self.num_shards
+        if metrics.enabled:
+            metrics.set_gauge(
+                "shard.setup_bytes_max", float(max(self.setup_bytes))
+            )
+
+    def _start_workers(self) -> None:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context()
+        spec = self._bundle.spec()
+        self._barrier = ctx.Barrier(self.num_shards)
+        self._result_queue = ctx.Queue()
+        self.setup_bytes = []
+        for part in range(self.num_shards):
+            cmd_queue = ctx.SimpleQueue()
+            # The whole per-worker payload: bundle spec + config.  Its
+            # pickled size is O(#arrays), independent of graph size —
+            # the zero-copy guarantee the tests assert on.
+            self.setup_bytes.append(len(pickle.dumps((part, spec, self._config))))
+            worker = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    part, spec, self._config, cmd_queue,
+                    self._result_queue, self._barrier,
+                ),
+                daemon=True,
+                name=f"shard-worker-{part}",
+            )
+            worker.start()
+            self._cmd_queues.append(cmd_queue)
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        train_mask: Optional[np.ndarray] = None,
+        val_mask: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` full-batch epochs across all shards."""
+        if self._bundle is None:
+            self._setup(features, labels, train_mask, val_mask)
+        for _ in range(epochs):
+            self.train_epoch()
+        return self.history
+
+    def train_epoch(self) -> EpochResult:
+        if self._bundle is None:
+            raise RuntimeError("call fit() first — the trainer is not set up")
+        tracer = get_tracer()
+        metrics = get_metrics()
+        epoch = len(self.history.epochs)
+        weights = [
+            (layer.weight, layer.bias) for layer in self.model.layers
+        ]
+        start = time.perf_counter()
+        with tracer.span("shard.epoch", epoch=epoch) as span:
+            if self.backend == "process":
+                results = self._run_epoch_process(epoch, weights)
+            elif self.backend == "thread":
+                results = self._run_epoch_thread(epoch, weights)
+            else:
+                results = self._run_epoch_serial(epoch, weights)
+            result = self._combine(epoch, results)
+            wall_s = time.perf_counter() - start
+            self.last_halo_bytes = sum(r["halo_bytes"] for r in results)
+            self.last_exchanges = sum(r["exchanges"] for r in results)
+            self.last_exchanges_skipped = sum(
+                r["exchanges_skipped"] for r in results
+            )
+            span.set_attr("loss", result.loss)
+            span.set_attr("halo_bytes", self.last_halo_bytes)
+            if metrics.enabled:
+                self._publish(metrics, result, results, wall_s)
+        self.history.epochs.append(result)
+        return result
+
+    def _run_epoch_serial(self, epoch: int, weights) -> List[Dict]:
+        """Phase-interleaved reference execution: the loop nesting plays
+        the role of the barriers (all runtimes finish phase ``k`` before
+        any starts ``k + 1``)."""
+        runtimes = self._runtimes
+        for runtime in runtimes:
+            runtime.begin_epoch(weights)
+        num_layers = len(self._config.layers)
+        for layer in range(num_layers):
+            for runtime in runtimes:
+                runtime.forward_layer(layer, epoch)
+        for runtime in runtimes:
+            runtime.loss_grad()
+        for layer in range(num_layers - 1, -1, -1):
+            for runtime in runtimes:
+                runtime.backward_update(layer)
+            if layer > 0:
+                for runtime in runtimes:
+                    runtime.backward_aggregate(layer, epoch)
+        return [runtime.epoch_result() for runtime in runtimes]
+
+    def _run_epoch_thread(self, epoch: int, weights) -> List[Dict]:
+        import threading
+
+        barrier = threading.Barrier(self.num_shards)
+        results: List[Optional[Dict]] = [None] * self.num_shards
+        errors: List[BaseException] = []
+
+        def run(part: int) -> None:
+            try:
+                results[part] = _run_worker_epoch(
+                    self._runtimes[part], epoch, weights, barrier.wait
+                )
+            except BaseException as exc:  # pragma: no cover - defensive
+                barrier.abort()
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(part,), daemon=True)
+            for part in range(self.num_shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def _run_epoch_process(self, epoch: int, weights) -> List[Dict]:
+        msg = ("epoch", epoch, weights)
+        self.epoch_message_bytes = len(pickle.dumps(msg))
+        for cmd_queue in self._cmd_queues:
+            cmd_queue.put(msg)
+        results: List[Optional[Dict]] = [None] * self.num_shards
+        failures = []
+        for _ in range(self.num_shards):
+            try:
+                part, status, payload = self._result_queue.get(
+                    timeout=_RESULT_TIMEOUT_S
+                )
+            except Exception:  # pragma: no cover - dead/hung worker
+                dead = [
+                    worker.name for worker in self._workers
+                    if not worker.is_alive()
+                ]
+                raise RuntimeError(
+                    f"shard epoch timed out; dead workers: {dead or 'none'}"
+                ) from None
+            if status == "ok":
+                results[part] = payload
+            else:
+                failures.append((part, payload))
+        if failures:
+            part, trace = failures[0]
+            raise RuntimeError(
+                f"shard worker {part} failed:\n{trace}"
+            )
+        return results
+
+    def _combine(self, epoch: int, results: List[Dict]) -> EpochResult:
+        cfg = self._config
+        loss = sum(r["loss_sum"] for r in results) / cfg.train_count
+        train_acc = (
+            sum(r["train_correct"] for r in results) / cfg.train_count
+        )
+        val_acc = (
+            sum(r["val_correct"] for r in results) / cfg.val_count
+            if cfg.has_val_mask and cfg.val_count
+            else None
+        )
+        grads = []
+        for layer_idx, layer in enumerate(self.model.layers):
+            # Deterministic reduction: partials summed in worker order at
+            # float64, like the paper's per-thread partial buffers.
+            grad_w = np.zeros(layer.weight.shape, dtype=np.float64)
+            grad_b = np.zeros(layer.bias.shape, dtype=np.float64)
+            for r in results:
+                grad_w += r["grad_w"][layer_idx]
+                grad_b += r["grad_b"][layer_idx]
+            grads.append(
+                LayerGrads(
+                    weight=grad_w.astype(np.float32),
+                    bias=grad_b.astype(np.float32),
+                    h_in=np.zeros((0, 0), dtype=np.float32),
+                )
+            )
+        self.optimizer.step(grads)
+        return EpochResult(
+            epoch=epoch,
+            loss=float(loss),
+            train_accuracy=float(train_acc),
+            val_accuracy=val_acc,
+        )
+
+    def _publish(self, metrics, result, results, wall_s: float) -> None:
+        metrics.set_gauge("shard.epoch", float(result.epoch))
+        metrics.set_gauge("shard.loss", float(result.loss))
+        metrics.inc("shard.halo_bytes", sum(r["halo_bytes"] for r in results))
+        metrics.inc("shard.exchanges", sum(r["exchanges"] for r in results))
+        metrics.inc(
+            "shard.exchanges_skipped",
+            sum(r["exchanges_skipped"] for r in results),
+        )
+        metrics.observe("shard.epoch_time_s", wall_s)
+        if self.epoch_message_bytes:
+            metrics.set_gauge(
+                "shard.epoch_message_bytes", float(self.epoch_message_bytes)
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+    def logits(self) -> np.ndarray:
+        """Final-layer board after the last epoch's forward (all rows)."""
+        if self._bundle is None:
+            raise RuntimeError("trainer is not set up")
+        return np.array(self._bundle.view(f"h{len(self._config.layers) - 1}"))
+
+    def worker_pids(self) -> List[int]:
+        return [worker.pid for worker in self._workers]
+
+    def close(self) -> None:
+        """Stop workers and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for cmd_queue in self._cmd_queues:
+            try:
+                cmd_queue.put(("stop",))
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for worker in self._workers:
+            worker.join(timeout=10)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5)
+        self._runtimes = []
+        if self._bundle is not None:
+            self._bundle.close()
+            self._bundle.unlink()
+            self._bundle = None
+
+    def __enter__(self) -> "ShardedTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -60,3 +60,46 @@ class TestEdgeList:
         graph = load_edge_list(path)
         assert graph.num_edges == 2
         assert graph.name == "graph.txt"
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(GraphError, match="line 3"):
+            parse_edge_list("0 1\n1 2\nbroken\n")
+
+
+class TestStreamingLargeList:
+    """The parser grows numpy buffers instead of a Python tuple list —
+    this regression pins the behavior on an input well past the initial
+    buffer capacity (1024 edges)."""
+
+    @pytest.fixture(scope="class")
+    def big_edges(self):
+        rng = np.random.default_rng(17)
+        return rng.integers(0, 5000, size=(60_000, 2), dtype=np.int64)
+
+    def test_parse_matches_from_edges(self, big_edges):
+        from repro.graphs import CSRGraph
+
+        text = "\n".join(f"{d} {s}" for d, s in big_edges) + "\n"
+        graph = parse_edge_list(text)
+        expected = CSRGraph.from_edges(int(big_edges.max()) + 1, big_edges)
+        assert graph.num_edges == expected.num_edges
+        np.testing.assert_array_equal(graph.indptr, expected.indptr)
+        np.testing.assert_array_equal(graph.indices, expected.indices)
+
+    def test_load_streams_file_without_slurping(self, big_edges, tmp_path):
+        path = tmp_path / "big.txt"
+        with open(path, "w") as handle:
+            handle.write("# generated\n")
+            for dst, src in big_edges:
+                handle.write(f"{dst} {src}\n")
+        graph = load_edge_list(path)
+        unique = len(np.unique(big_edges, axis=0))
+        assert graph.num_edges == unique
+        assert graph.num_vertices == int(big_edges.max()) + 1
+
+    def test_exact_doubling_boundary(self):
+        # 1024 / 1025 edges straddle the first buffer growth.
+        for count in (1023, 1024, 1025, 2049):
+            text = "".join(f"{i} {i + 1}\n" for i in range(count))
+            graph = parse_edge_list(text)
+            assert graph.num_edges == count

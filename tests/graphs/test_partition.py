@@ -3,11 +3,23 @@
 import numpy as np
 import pytest
 
-from repro.graphs import load_dataset, star_graph, uniform_graph
+from repro.graphs import (
+    CSRGraph,
+    GraphError,
+    community_graph,
+    load_dataset,
+    power_law_graph,
+    star_graph,
+    uniform_graph,
+)
 from repro.graphs.partition import (
+    PARTITION_METHODS,
     balance_comparison,
+    build_shards,
     chunk_boundaries,
     dynamic_schedule,
+    edge_cut_partition,
+    static_cyclic_schedule,
     static_schedule,
     task_weights,
 )
@@ -33,6 +45,21 @@ class TestTaskWeights:
     def test_invalid_task_size(self, small_uniform):
         with pytest.raises(ValueError):
             task_weights(small_uniform, 0)
+
+    def test_matches_per_task_loop(self, small_products):
+        """The reduceat implementation must be *exactly* the old per-task
+        Python loop — same float64 accumulation order, bit for bit."""
+        task_size = 16
+        degs = small_products.degrees()
+        n = small_products.num_vertices
+        num_tasks = (n + task_size - 1) // task_size
+        expected = np.zeros(num_tasks)
+        for task in range(num_tasks):
+            lo = task * task_size
+            hi = min(lo + task_size, n)
+            expected[task] = float((degs[lo:hi] + 1).sum())
+        got = task_weights(small_products, task_size)
+        np.testing.assert_array_equal(got, expected)
 
 
 class TestSchedules:
@@ -73,6 +100,43 @@ class TestSchedules:
             static_schedule(np.array([1.0]), 0)
         with pytest.raises(ValueError):
             dynamic_schedule(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            static_cyclic_schedule(np.array([1.0]), 0)
+
+    def test_static_assigns_contiguous_blocks(self):
+        """OpenMP ``schedule(static)`` gives each thread ONE contiguous
+        block of ceil(n/threads) iterations — not a round-robin."""
+        weights = np.arange(1.0, 8.0)  # 7 tasks, 3 threads -> block of 3
+        report = static_schedule(weights, 3)
+        assert report.policy == "static"
+        np.testing.assert_array_equal(
+            report.thread_work,
+            [1 + 2 + 3, 4 + 5 + 6, 7.0],
+        )
+
+    def test_cyclic_assigns_round_robin(self):
+        weights = np.arange(1.0, 8.0)
+        report = static_cyclic_schedule(weights, 3)
+        assert report.policy == "static_cyclic"
+        np.testing.assert_array_equal(
+            report.thread_work,
+            [1 + 4 + 7, 2 + 5, 3 + 6],
+        )
+
+    def test_block_and_cyclic_differ_on_sorted_weights(self):
+        """Monotone weights are the tell: blocks concentrate the heavy
+        tail on the last thread while round-robin spreads it."""
+        weights = np.arange(64, dtype=np.float64) ** 2
+        block = static_schedule(weights, 8)
+        cyclic = static_cyclic_schedule(weights, 8)
+        assert block.imbalance > cyclic.imbalance
+        assert block.makespan == pytest.approx(weights[-8:].sum())
+
+    def test_threads_exceed_tasks(self):
+        weights = np.array([2.0, 3.0])
+        report = static_schedule(weights, 4)
+        assert report.thread_work.sum() == pytest.approx(5.0)
+        assert (report.thread_work[2:] == 0).all()
 
 
 class TestChunkBoundaries:
@@ -85,3 +149,144 @@ class TestChunkBoundaries:
     def test_invalid(self):
         with pytest.raises(ValueError):
             chunk_boundaries(10, 0)
+
+
+class TestEdgeCutPartition:
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_every_vertex_assigned(self, small_community, method):
+        result = edge_cut_partition(small_community, 4, method=method)
+        assert result.assignment.shape == (small_community.num_vertices,)
+        assert result.assignment.min() >= 0
+        assert result.assignment.max() < 4
+        assert result.part_sizes().sum() == small_community.num_vertices
+
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_capacity_respected(self, small_community, method):
+        n = small_community.num_vertices
+        result = edge_cut_partition(small_community, 4, method=method)
+        assert result.part_sizes().max() <= -(-n // 4)  # ceil(n / 4)
+
+    def test_divisible_sizes_are_exact(self):
+        graph = uniform_graph(120, 6.0, seed=2)
+        for method in PARTITION_METHODS:
+            result = edge_cut_partition(graph, 4, method=method)
+            np.testing.assert_array_equal(result.part_sizes(), [30, 30, 30, 30])
+            assert result.balance == pytest.approx(1.0)
+
+    def test_locality_aware_beats_contiguous_on_communities(self):
+        """Community graphs reorder vertices randomly, so contiguous
+        blocks cut almost everything; BFS/greedy must recover most of
+        the community structure."""
+        graph = community_graph(
+            400, avg_degree=8.0, community_size=100, within_fraction=0.95, seed=7
+        )
+        contiguous = edge_cut_partition(graph, 4, method="contiguous")
+        for method in ("bfs", "greedy"):
+            result = edge_cut_partition(graph, 4, method=method)
+            assert result.edge_cut(graph) < contiguous.edge_cut(graph)
+
+    @pytest.mark.parametrize("method", ("bfs", "greedy"))
+    def test_refinement_never_worsens_cut(self, method):
+        graph = power_law_graph(300, avg_degree=6.0, seed=5)
+        raw = edge_cut_partition(graph, 3, method=method, refine_passes=0)
+        refined = edge_cut_partition(graph, 3, method=method, refine_passes=2)
+        assert refined.edge_cut(graph) <= raw.edge_cut(graph)
+        assert refined.part_sizes().max() <= raw.part_sizes().max()
+
+    def test_deterministic(self, small_community):
+        a = edge_cut_partition(small_community, 4, method="greedy")
+        b = edge_cut_partition(small_community, 4, method="greedy")
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_single_part(self, small_uniform):
+        result = edge_cut_partition(small_uniform, 1)
+        assert (result.assignment == 0).all()
+        assert result.edge_cut(small_uniform) == 0
+        assert result.cut_fraction(small_uniform) == 0.0
+
+    def test_errors(self, small_uniform):
+        with pytest.raises(ValueError):
+            edge_cut_partition(small_uniform, 0)
+        with pytest.raises(ValueError):
+            edge_cut_partition(small_uniform, small_uniform.num_vertices + 1)
+        with pytest.raises(ValueError):
+            edge_cut_partition(small_uniform, 2, method="metis")
+
+    def test_cut_fraction_matches_brute_force(self, tiny_graph):
+        result = edge_cut_partition(tiny_graph, 2, method="contiguous")
+        assign = result.assignment
+        cut = 0
+        for dst in range(tiny_graph.num_vertices):
+            lo, hi = tiny_graph.indptr[dst], tiny_graph.indptr[dst + 1]
+            for src in tiny_graph.indices[lo:hi]:
+                cut += assign[dst] != assign[src]
+        assert result.edge_cut(tiny_graph) == cut
+
+
+class TestBuildShards:
+    @pytest.fixture(scope="class")
+    def sharded(self, small_community):
+        result = edge_cut_partition(small_community, 3, method="greedy")
+        return small_community, result.assignment, build_shards(
+            small_community, result.assignment
+        )
+
+    def test_locals_cover_all_vertices(self, sharded):
+        graph, assignment, shards = sharded
+        union = np.concatenate([s.local_vertices for s in shards])
+        np.testing.assert_array_equal(np.sort(union), np.arange(graph.num_vertices))
+        for shard in shards:
+            np.testing.assert_array_equal(
+                shard.local_vertices, np.sort(shard.local_vertices)
+            )
+            assert (assignment[shard.local_vertices] == shard.part).all()
+
+    def test_halo_is_exactly_remote_in_neighbors(self, sharded):
+        graph, assignment, shards = sharded
+        for shard in shards:
+            expected = set()
+            for dst in shard.local_vertices:
+                lo, hi = graph.indptr[dst], graph.indptr[dst + 1]
+                for src in graph.indices[lo:hi]:
+                    if assignment[src] != shard.part:
+                        expected.add(int(src))
+            assert set(shard.halo_vertices.tolist()) == expected
+            assert (assignment[shard.halo_vertices] != shard.part).all()
+
+    def test_local_columns_decode_to_global(self, sharded):
+        """Remapped column ids must round-trip to the original global
+        sources: ids < num_local index local_vertices, the rest halo."""
+        graph, _, shards = sharded
+        for shard in shards:
+            vocab = np.concatenate([shard.local_vertices, shard.halo_vertices])
+            assert shard.indices.min() >= 0
+            assert shard.indices.max() < len(vocab)
+            decoded = vocab[shard.indices]
+            np.testing.assert_array_equal(
+                decoded, graph.indices[shard.edge_positions]
+            )
+
+    def test_edge_positions_restrict_per_edge_arrays(self, sharded):
+        graph, _, shards = sharded
+        edge_tag = np.arange(graph.num_edges, dtype=np.int64) * 7 + 1
+        seen = np.concatenate([edge_tag[s.edge_positions] for s in shards])
+        # Every global edge appears in exactly one shard.
+        np.testing.assert_array_equal(np.sort(seen), np.sort(edge_tag))
+
+    def test_indptr_matches_degrees(self, sharded):
+        graph, _, shards = sharded
+        degs = graph.degrees()
+        for shard in shards:
+            np.testing.assert_array_equal(
+                np.diff(shard.indptr), degs[shard.local_vertices]
+            )
+            assert shard.indptr[-1] == shard.num_edges
+
+    def test_length_mismatch_raises(self, small_uniform):
+        with pytest.raises(GraphError):
+            build_shards(small_uniform, np.zeros(3, dtype=np.int64))
+
+    def test_halo_fraction_bounds(self, sharded):
+        _, _, shards = sharded
+        for shard in shards:
+            assert 0.0 <= shard.halo_fraction < 1.0

@@ -1,0 +1,353 @@
+"""Differential suite for partition-parallel sharded training.
+
+The sharded trainer re-executes full-batch GCN training as K cooperating
+shard workers over one shared-memory arena.  Its contract: with every
+halo exchange on, the math is the *same* training run — the per-shard
+segment-reduce mirrors the batched engine's reduceat path row for row,
+and the parent sums partial gradients in a fixed worker order.  This
+suite pins that equivalence against the single-process ``Trainer``,
+pins the process backend bitwise against the in-process serial backend,
+and documents the controlled deviation delayed aggregation introduces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.graphs import load_dataset, synthetic_features
+from repro.nn import Adam, Trainer, build_model
+from repro.parallel import SHARD_BACKENDS, ShardedTrainer
+
+FEATURES = 12
+HIDDEN = 16
+CLASSES = 5
+EPOCHS = 4
+
+#: The sharded forward matches the batched engine's accumulation order
+#: shard-locally, but the parent sums dW partials across shards in
+#: float64 — final fp32 weights drift by a few ulp versus the fused
+#: single-process update.
+LOSS_RTOL = 1e-6
+WEIGHT_ATOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("products", scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def features(graph):
+    return synthetic_features(graph, FEATURES, seed=4, sparsity=0.3)
+
+
+@pytest.fixture(scope="module")
+def labels(graph):
+    rng = np.random.default_rng(8)
+    return rng.integers(0, CLASSES, graph.num_vertices).astype(np.int64)
+
+
+def _model(graph, seed=0):
+    return build_model("gcn", FEATURES, HIDDEN, CLASSES, seed=seed)
+
+
+def _reference(graph, features, labels, epochs=EPOCHS, **fit_kwargs):
+    model = _model(graph)
+    trainer = Trainer(model, Adam(model, lr=0.01))
+    history = trainer.fit(graph, features, labels, epochs=epochs, **fit_kwargs)
+    return history, model
+
+
+def _sharded(
+    graph, features, labels, epochs=EPOCHS, fit_kwargs=None, **kwargs
+):
+    model = _model(graph)
+    kwargs.setdefault("num_shards", 3)
+    trainer = ShardedTrainer(graph, model, Adam(model, lr=0.01), **kwargs)
+    with trainer:
+        history = trainer.fit(
+            features, labels, epochs=epochs, **(fit_kwargs or {})
+        )
+        logits = trainer.logits()
+    return history, model, trainer, logits
+
+
+class TestMatchesSingleProcessTrainer:
+    @pytest.mark.parametrize("backend", SHARD_BACKENDS)
+    def test_loss_curves_match(self, graph, features, labels, backend):
+        reference, _ = _reference(graph, features, labels)
+        history, _, _, _ = _sharded(
+            graph, features, labels, backend=backend
+        )
+        np.testing.assert_allclose(
+            history.losses(), reference.losses(), rtol=LOSS_RTOL
+        )
+
+    def test_weights_match(self, graph, features, labels):
+        _, ref_model = _reference(graph, features, labels)
+        _, model, _, _ = _sharded(graph, features, labels, backend="serial")
+        for ref_layer, layer in zip(ref_model.layers, model.layers):
+            np.testing.assert_allclose(
+                layer.weight, ref_layer.weight, atol=WEIGHT_ATOL
+            )
+            np.testing.assert_allclose(
+                layer.bias, ref_layer.bias, atol=WEIGHT_ATOL
+            )
+
+    def test_accuracies_match(self, graph, features, labels):
+        rng = np.random.default_rng(2)
+        train_mask = rng.random(graph.num_vertices) < 0.6
+        val_mask = ~train_mask
+        reference, _ = _reference(
+            graph, features, labels,
+            train_mask=train_mask, val_mask=val_mask,
+        )
+        history, _, _, _ = _sharded(
+            graph, features, labels, backend="serial",
+            fit_kwargs={"train_mask": train_mask, "val_mask": val_mask},
+        )
+        for ref_epoch, epoch in zip(reference.epochs, history.epochs):
+            assert epoch.train_accuracy == pytest.approx(
+                ref_epoch.train_accuracy, abs=1e-12
+            )
+            assert epoch.val_accuracy == pytest.approx(
+                ref_epoch.val_accuracy, abs=1e-12
+            )
+
+    @pytest.mark.parametrize("method", ("contiguous", "bfs", "greedy"))
+    def test_every_partition_method_trains_the_same_model(
+        self, graph, features, labels, method
+    ):
+        reference, _ = _reference(graph, features, labels)
+        history, _, _, _ = _sharded(
+            graph, features, labels, backend="serial",
+            partition_method=method,
+        )
+        np.testing.assert_allclose(
+            history.losses(), reference.losses(), rtol=LOSS_RTOL
+        )
+
+
+class TestProcessBitwiseMatchesSerial:
+    """Shared memory changes *where* arrays live, never their values:
+    the process backend must reproduce the in-process serial schedule
+    bit for bit."""
+
+    def test_losses_and_logits_bitwise(self, graph, features, labels):
+        serial_hist, serial_model, _, serial_logits = _sharded(
+            graph, features, labels, backend="serial"
+        )
+        proc_hist, proc_model, _, proc_logits = _sharded(
+            graph, features, labels, backend="process"
+        )
+        assert serial_hist.losses() == proc_hist.losses()
+        np.testing.assert_array_equal(serial_logits, proc_logits)
+        for serial_layer, proc_layer in zip(
+            serial_model.layers, proc_model.layers
+        ):
+            assert np.array_equal(serial_layer.weight, proc_layer.weight)
+            assert np.array_equal(serial_layer.bias, proc_layer.bias)
+
+    def test_thread_backend_bitwise_too(self, graph, features, labels):
+        serial_hist, _, _, _ = _sharded(
+            graph, features, labels, backend="serial"
+        )
+        thread_hist, _, _, _ = _sharded(
+            graph, features, labels, backend="thread"
+        )
+        assert serial_hist.losses() == thread_hist.losses()
+
+
+class TestDelayedAggregation:
+    """DistGNN-style delayed aggregation: designated layers reuse stale
+    halo features between refresh epochs.  ``halo_refresh=1`` refreshes
+    every epoch and must therefore be *exactly* the full-exchange run;
+    larger periods trade accuracy for traffic, and the documented
+    contract is monotone-ish convergence, not equality."""
+
+    def test_refresh_every_epoch_is_exact(self, graph, features, labels):
+        full, _, _, _ = _sharded(graph, features, labels, backend="serial")
+        delayed, _, _, _ = _sharded(
+            graph, features, labels, backend="serial",
+            delayed_layers=(1,), halo_refresh=1,
+        )
+        assert full.losses() == delayed.losses()
+
+    def test_stale_halo_deviates_but_converges(self, graph, features, labels):
+        full, _, _, _ = _sharded(
+            graph, features, labels, backend="serial", epochs=8
+        )
+        stale, _, trainer, _ = _sharded(
+            graph, features, labels, backend="serial",
+            delayed_layers=(1,), halo_refresh=4, epochs=8,
+        )
+        # Stale halos change the math on non-refresh epochs...
+        assert stale.losses() != full.losses()
+        # ...but epoch 0 is a refresh epoch, so it is still exact...
+        assert stale.losses()[0] == full.losses()[0]
+        # ...and the deviation stays a perturbation: training descends.
+        assert stale.losses()[-1] < stale.losses()[0]
+        assert trainer.last_exchanges_skipped > 0
+
+    def test_skipped_exchanges_cut_halo_traffic(self, graph, features, labels):
+        _, _, full_trainer, _ = _sharded(
+            graph, features, labels, backend="serial"
+        )
+        _, _, delayed_trainer, _ = _sharded(
+            graph, features, labels, backend="serial",
+            delayed_layers=(1,), halo_refresh=100,
+        )
+        assert delayed_trainer.last_halo_bytes < full_trainer.last_halo_bytes
+
+
+class TestZeroCopy:
+    """The worker payload is (part id, bundle spec, config) — O(#arrays)
+    bytes, not O(graph).  If someone reintroduces graph pickling, these
+    bounds blow up by orders of magnitude."""
+
+    def test_setup_payload_is_bounded(self, graph, features, labels):
+        _, _, trainer, _ = _sharded(
+            graph, features, labels, backend="process", epochs=1
+        )
+        assert len(trainer.setup_bytes) == 3
+        for nbytes in trainer.setup_bytes:
+            assert 0 < nbytes < 32_768
+
+    def test_setup_payload_is_graph_size_independent(self):
+        sizes = {}
+        for scale in (0.05, 0.2):
+            graph = load_dataset("products", scale=scale, seed=3)
+            h = synthetic_features(graph, FEATURES, seed=4, sparsity=0.3)
+            y = np.random.default_rng(8).integers(
+                0, CLASSES, graph.num_vertices
+            ).astype(np.int64)
+            _, _, trainer, _ = _sharded(
+                graph, h, y, backend="process", epochs=1
+            )
+            sizes[scale] = max(trainer.setup_bytes)
+        # 4x the vertices, same payload (within pickle framing noise).
+        assert abs(sizes[0.2] - sizes[0.05]) < 512
+
+    def test_per_epoch_message_is_model_sized(self, graph, features, labels):
+        _, _, trainer, _ = _sharded(
+            graph, features, labels, backend="process"
+        )
+        model_bytes = sum(
+            layer.weight.nbytes + layer.bias.nbytes
+            for layer in _model(graph).layers
+        )
+        assert 0 < trainer.epoch_message_bytes < 16 * model_bytes
+
+
+class TestPersistentPool:
+    def test_workers_survive_across_epochs(self, graph, features, labels):
+        model = _model(graph)
+        trainer = ShardedTrainer(
+            graph, model, Adam(model, lr=0.01),
+            num_shards=2, backend="process",
+        )
+        with trainer:
+            trainer.fit(features, labels, epochs=1)
+            first = sorted(trainer.worker_pids())
+            trainer.train_epoch()
+            trainer.train_epoch()
+            second = sorted(trainer.worker_pids())
+        assert first == second
+        assert len(first) == 2
+        import os
+
+        assert os.getpid() not in first
+
+    def test_close_is_idempotent_and_joins_workers(
+        self, graph, features, labels
+    ):
+        model = _model(graph)
+        trainer = ShardedTrainer(
+            graph, model, Adam(model, lr=0.01),
+            num_shards=2, backend="process",
+        )
+        trainer.fit(features, labels, epochs=1)
+        workers = list(trainer._workers)
+        trainer.close()
+        trainer.close()
+        for worker in workers:
+            assert not worker.is_alive()
+
+
+class TestObservability:
+    def test_shard_metrics_and_spans_published(self, graph, features, labels):
+        tracer, metrics = obs.enable()
+        try:
+            _sharded(graph, features, labels, backend="process", epochs=2)
+            snap = metrics.snapshot()
+            span_names = {s.to_record()["name"] for s in tracer.spans()}
+        finally:
+            obs.disable()
+        assert "shard.partition" in span_names
+        assert "shard.epoch" in span_names
+        for key in (
+            "shard.workers",
+            "shard.partition.edge_cut",
+            "shard.partition.cut_fraction",
+            "shard.partition.balance",
+            "shard.setup_bytes_max",
+            "shard.halo_bytes",
+            "shard.exchanges",
+            "shard.epoch_time_s",
+            "shard.epoch_message_bytes",
+        ):
+            assert key in snap, f"missing metric {key}"
+        assert snap["shard.halo_bytes"]["value"] > 0
+
+
+class TestValidation:
+    def test_rejects_unknown_backend(self, graph):
+        model = _model(graph)
+        with pytest.raises(ValueError):
+            ShardedTrainer(graph, model, Adam(model), backend="mpi")
+
+    def test_rejects_dropout(self, graph):
+        model = build_model(
+            "gcn", FEATURES, HIDDEN, CLASSES, dropout=0.5, seed=0
+        )
+        with pytest.raises(ValueError, match="dropout"):
+            ShardedTrainer(graph, model, Adam(model))
+
+    def test_rejects_delayed_layer_zero(self, graph):
+        model = _model(graph)
+        with pytest.raises(ValueError, match="layer 0"):
+            ShardedTrainer(graph, model, Adam(model), delayed_layers=(0,))
+
+    def test_rejects_bad_halo_refresh(self, graph):
+        model = _model(graph)
+        with pytest.raises(ValueError):
+            ShardedTrainer(graph, model, Adam(model), halo_refresh=0)
+
+    def test_rejects_empty_train_mask(self, graph, features, labels):
+        model = _model(graph)
+        trainer = ShardedTrainer(
+            graph, model, Adam(model, lr=0.01),
+            num_shards=2, backend="serial",
+        )
+        with pytest.raises(ValueError, match="mask"):
+            trainer.fit(
+                features, labels, epochs=1,
+                train_mask=np.zeros(graph.num_vertices, dtype=bool),
+            )
+
+    def test_train_epoch_before_fit_raises(self, graph):
+        model = _model(graph)
+        trainer = ShardedTrainer(graph, model, Adam(model, lr=0.01))
+        with pytest.raises(RuntimeError):
+            trainer.train_epoch()
+
+    def test_single_shard_works(self, graph, features, labels):
+        reference, _ = _reference(graph, features, labels, epochs=2)
+        history, _, trainer, _ = _sharded(
+            graph, features, labels, backend="serial",
+            num_shards=1, epochs=2,
+        )
+        np.testing.assert_allclose(
+            history.losses(), reference.losses(), rtol=LOSS_RTOL
+        )
+        assert trainer.last_halo_bytes == 0

@@ -10,6 +10,7 @@ from repro.obs.history import (
     append_history,
     baseline_medians,
     compare_entries,
+    default_higher_is_better,
     entry_from_bench_results,
     entry_from_run_report,
     load_history,
@@ -127,7 +128,37 @@ class TestCompare:
         report = compare_entries(baseline, entry(10.0, deviation=0.5))
         skipped = [c for c in report.comparisons if c.status == "skipped"]
         assert [c.name for c in skipped] == ["deviation"]
-        assert report.ok
+
+    def test_throughput_suffixes_default_to_higher_is_better(self):
+        names = [
+            "span.kernel.basic.total_s",
+            "fused.speedup_x",
+            "sharded.shards4.epochs_per_s",
+            "sharded.shards4.efficiency",
+        ]
+        assert default_higher_is_better(names) == {
+            "fused.speedup_x",
+            "sharded.shards4.epochs_per_s",
+            "sharded.shards4.efficiency",
+        }
+
+    def test_throughput_drop_gates_as_regression(self):
+        """A sharded-bench rate falling 30% must trip the gate even
+        though the raw number went *down* — the suffix flips direction."""
+        baseline = [
+            entry(10.0, **{"sharded.shards4.epochs_per_s": 100.0})
+            for _ in range(3)
+        ]
+        current = entry(10.0, **{"sharded.shards4.epochs_per_s": 70.0})
+        report = compare_entries(
+            baseline,
+            current,
+            higher_is_better=default_higher_is_better(current.metrics),
+        )
+        assert [c.name for c in report.regressions] == [
+            "sharded.shards4.epochs_per_s"
+        ]
+        assert not report.ok
 
     def test_negative_threshold_rejected(self):
         with pytest.raises(ValueError):

@@ -1,5 +1,7 @@
 """Unit tests for the multi-worker chunk executor."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -111,6 +113,50 @@ class TestLoadBalance:
         plan = build_chunk_plan(skewed_graph, 32, order)
         with pytest.raises(ValueError):
             ChunkExecutor("thread", 2).run(workload, plan)
+
+
+class TestEmptyAssignment:
+    def test_process_backend_skips_pool_when_nothing_to_do(
+        self, skewed_graph, workload_inputs, monkeypatch
+    ):
+        """An all-empty assignment must short-circuit to idle reports —
+        no ProcessPoolExecutor construction, no workload pickling."""
+        import repro.parallel.executor as executor_mod
+
+        class _Forbidden:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pool constructed for empty assignment")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _Forbidden)
+        h, order = workload_inputs
+        workload = BasicAggregationWorkload(
+            skewed_graph, h, "gcn", order, prefetch_distance=4
+        )
+        plan = build_chunk_plan(skewed_graph, 32, order)
+        plan = dataclasses.replace(plan, chunks=())  # every worker idle
+        outputs, stats, report = ChunkExecutor("process", 3).run(workload, plan)
+        assert stats.tasks == 0
+        assert len(report.worker_reports) == 3
+        for worker_report in report.worker_reports:
+            assert worker_report.num_chunks == 0
+            assert worker_report.num_vertices == 0
+            assert worker_report.elapsed_s == 0.0
+        assert report.chunks_per_worker == [0, 0, 0]
+
+    def test_idle_reports_match_thread_backend(
+        self, skewed_graph, workload_inputs
+    ):
+        h, order = workload_inputs
+        results = {}
+        for backend in ("thread", "process"):
+            workload = BasicAggregationWorkload(
+                skewed_graph, h, "gcn", order, prefetch_distance=4
+            )
+            plan = build_chunk_plan(skewed_graph, 32, order)
+            plan = dataclasses.replace(plan, chunks=())
+            _, stats, report = ChunkExecutor(backend, 2).run(workload, plan)
+            results[backend] = (stats.tasks, report.chunks_per_worker)
+        assert results["process"] == results["thread"]
 
 
 class TestLiveGauges:

@@ -207,6 +207,92 @@ class TestCommands:
         assert "span.kernel.basic.total_s" in metrics
 
 
+class TestShardedTraining:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train", "products"])
+        assert args.shards == 1
+        assert args.partition == "greedy"
+        assert args.delay_aggregation == []
+        assert args.halo_refresh == 8
+
+    def test_bench_sharded_parser_defaults(self):
+        args = build_parser().parse_args(["bench-sharded"])
+        assert args.dataset == "products"
+        assert args.scale == 10.0
+        assert args.shards == [1, 2, 4]
+        assert args.backend == "process"
+
+    def test_train_sharded_runs(self, capsys):
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "8", "--hidden", "8", "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partition: greedy x2" in out
+        assert "halo" in out
+
+    def test_train_sharded_rejects_dropout(self, capsys):
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "1",
+            "--features", "8", "--hidden", "8", "--shards", "2",
+            "--dropout", "0.3",
+        ])
+        assert code == 2
+        assert "dropout" in capsys.readouterr().err
+
+    def test_train_sharded_json_report_has_shard_metrics(self, tmp_path):
+        import json
+
+        report = tmp_path / "sharded.json"
+        code = main([
+            "train", "products", "--scale", "0.05", "--epochs", "2",
+            "--features", "8", "--hidden", "8", "--shards", "2",
+            "--backend", "process", "--json", str(report),
+        ])
+        assert code == 0
+        doc = json.loads(report.read_text())
+        for key in (
+            "shard.workers",
+            "shard.halo_bytes",
+            "shard.epoch_time_s",
+            "shard.setup_bytes_max",
+            "shard.partition.cut_fraction",
+        ):
+            assert key in doc["metrics"], f"missing {key}"
+        span_names = {s["name"] for s in doc["spans"]}
+        assert "shard.partition" in span_names
+        assert "shard.epoch" in span_names
+
+    def test_bench_sharded_appends_gateable_history(self, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "hist.jsonl"
+        code = main([
+            "bench-sharded", "products", "--scale", "0.05",
+            "--shards", "1", "2", "--epochs", "1", "--backend", "serial",
+            "--features", "8", "--hidden", "8",
+            "--history", str(history),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+        rows = [
+            json.loads(line) for line in history.read_text().splitlines()
+        ]
+        assert len(rows) == 1
+        assert rows[0]["label"] == "bench-parallel-sharded"
+        metrics = rows[0]["metrics"]
+        assert "sharded.shards1.epochs_per_s" in metrics
+        assert "sharded.shards2.efficiency" in metrics
+        assert "sharded.partition.cut_fraction" in metrics
+        # The fresh label gates trivially: the row is a usable baseline.
+        assert main([
+            "compare", "--history", str(history),
+            "--label", "bench-parallel-sharded",
+        ]) == 0
+
+
 class TestObservabilityCommands:
     def test_train_events_health_and_report(self, tmp_path, capsys):
         from repro.obs.events import validate_events_file
