@@ -26,6 +26,16 @@ Subcommands:
   stacks for flamegraph tooling).
 * ``profile diff`` — compare the sampled profiles of two run reports
   and exit nonzero when a phase regressed past the threshold.
+* ``serve`` — train briefly, then answer per-vertex / per-batch
+  classification and embedding queries over HTTP (request batcher +
+  LRU embedding cache + admission control; every request carries a
+  trace id and the ``serve.*`` metric families feed ``--serve-metrics``
+  / ``repro top`` / the built-in serving SLO rules).
+* ``loadgen`` — drive a running serving endpoint: open-loop Poisson
+  arrivals (``--rate``) or closed-loop concurrency, with client-side
+  latency percentiles.
+* ``bench-serve`` — in-process serving benchmark; records qps +
+  p50/p95/p99 latency as a ``bench-serve`` perf-history row.
 * ``experiment`` — run one named paper artifact (fig2 ... tab5).
 
 Global flags: ``-v/--verbose`` (repeatable), ``-q/--quiet``, and
@@ -975,6 +985,233 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serving_service(args) -> tuple:
+    """Train a small model and wrap it in an InferenceService.
+
+    Shared by ``repro serve`` and ``repro bench-serve``: dataset twin +
+    synthetic features/labels, a short training run (the service answers
+    from whatever the model learned), then the serving pipeline with the
+    cache/batcher knobs from the command line.
+    """
+    from .graphs import load_dataset, synthetic_features
+    from .nn import Adam, Trainer, build_model
+    from .serve import InferenceService
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    features = synthetic_features(graph, args.features, seed=args.seed)
+    labels = np.random.default_rng(args.seed).integers(
+        0, args.classes, graph.num_vertices
+    )
+    model = build_model(
+        args.model, args.features, args.hidden, args.classes,
+        num_layers=args.layers, seed=args.seed,
+    )
+    if args.epochs:
+        print(
+            f"training {args.model} x{args.layers} on {args.dataset} "
+            f"{args.scale}x for {args.epochs} epoch(s) ..."
+        )
+        trainer = Trainer(model, Adam(model, lr=args.lr))
+        trainer.fit(graph, features, labels, epochs=args.epochs)
+    service = InferenceService(
+        graph,
+        features,
+        model,
+        cache_capacity=args.cache_capacity,
+        cache_max_age_s=args.cache_max_age,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        fanouts=args.fanout or None,
+        seed=args.seed,
+    )
+    return graph, service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Train briefly, then answer inference queries over HTTP."""
+    import time as time_module
+
+    from .obs.rules import RuleEngine, RuleParseError, default_serve_rules, load_rules
+    from .serve import ServingServer
+
+    rules = None
+    if args.rules:
+        try:
+            rules = RuleEngine(load_rules(args.rules))
+        except (OSError, RuleParseError) as error:
+            print(f"{args.rules}: {error}", file=sys.stderr)
+            return 2
+        print(f"slo: loaded {len(rules.rules)} rule(s) from {args.rules}")
+    elif not args.no_rules:
+        rules = RuleEngine(default_serve_rules())
+    graph, service = _build_serving_service(args)
+    meta = {
+        "command": "serve",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "model": args.model,
+        "epochs": args.epochs,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "assembly": "sampled" if args.fanout else "exact",
+    }
+    from .obs import get_metrics
+
+    extras: dict = {}
+    status = 0
+    with _telemetry(args, meta, extras=extras):
+        registry = get_metrics()
+        with ServingServer(service, port=args.port, host=args.host) as server:
+            print(
+                f"serving inference on {server.url} "
+                "(/v1/predict, /healthz, /stats.json)"
+            )
+            deadline = (
+                time_module.monotonic() + args.duration
+                if args.duration is not None
+                else None
+            )
+            try:
+                while deadline is None or time_module.monotonic() < deadline:
+                    step = 1.0
+                    if deadline is not None:
+                        step = min(step, max(0.0, deadline - time_module.monotonic()))
+                    time_module.sleep(step)
+                    if rules is not None:
+                        rules.evaluate(registry.snapshot())
+            except KeyboardInterrupt:
+                print("\nshutting down")
+        extras["alerts"] = rules
+        stats = service.stats()
+        print(
+            f"served {stats['requests']} request(s), "
+            f"{stats['errors']} error(s); cache hit rate "
+            f"{stats['cache']['hit_rate']:.0%}; "
+            f"{stats['batcher']['batches']} batch(es)"
+        )
+    if rules is not None:
+        print(rules.summary())
+        if args.check and not rules.ok:
+            return 1
+    return status
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running serving endpoint and print client-side latency."""
+    from .serve import concurrency_sweep, run_loadgen, write_results
+
+    if args.sweep:
+        results = concurrency_sweep(
+            args.url,
+            levels=args.sweep,
+            duration_s=args.duration,
+            num_vertices=args.vertices,
+            mode=args.mode,
+            seed=args.seed,
+        )
+    else:
+        results = [
+            run_loadgen(
+                args.url,
+                duration_s=args.duration,
+                rate=args.rate,
+                concurrency=args.concurrency,
+                num_vertices=args.vertices,
+                mode=args.mode,
+                seed=args.seed,
+                timeout_s=args.timeout,
+            )
+        ]
+    for result in results:
+        print(result.render())
+    if args.out:
+        write_results(args.out, results)
+        print(f"wrote {len(results)} result(s) to {args.out}")
+    total = sum(r.requests for r in results)
+    completed = total - sum(r.errors for r in results)
+    return 0 if total and completed else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Serving benchmark: in-process server + closed-loop load, one
+    ``bench-serve`` history row (qps + latency percentiles)."""
+    from .bench.harness import Experiment
+    from .serve import ServingServer, run_loadgen
+
+    graph, service = _build_serving_service(args)
+    meta = {
+        "command": "bench-serve",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "model": args.model,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "concurrency": args.concurrency,
+        "duration_s": args.duration,
+        "query_vertices": args.vertices,
+        "max_batch": args.max_batch,
+        "assembly": "sampled" if args.fanout else "exact",
+    }
+    extras: dict = {}
+    with _telemetry(args, meta, extras=extras):
+        with ServingServer(service, port=0, host=args.host) as server:
+            print(f"serving inference on {server.url}")
+            if args.warmup > 0:
+                run_loadgen(
+                    server.url,
+                    duration_s=args.warmup,
+                    concurrency=args.concurrency,
+                    num_vertices=args.vertices,
+                    mode=args.mode,
+                    seed=args.seed + 1,
+                )
+            result = run_loadgen(
+                server.url,
+                duration_s=args.duration,
+                concurrency=args.concurrency,
+                num_vertices=args.vertices,
+                mode=args.mode,
+                seed=args.seed,
+            )
+        stats = service.stats()
+    print(result.render())
+    print(
+        f"server: cache hit rate {stats['cache']['hit_rate']:.0%}, "
+        f"{stats['batcher']['batches']} batch(es), "
+        f"{stats['batcher']['rejected']} rejected"
+    )
+    exp = Experiment(
+        "bench-serve",
+        f"closed-loop x{args.concurrency} serving bench on {args.dataset} "
+        f"{args.scale}x ({graph.num_vertices} vertices)",
+    )
+    exp.add("throughput", result.qps, unit="qps")
+    exp.add("latency p50", result.latency.percentile(50.0) * 1e3, unit="ms")
+    exp.add("latency p95", result.latency.percentile(95.0) * 1e3, unit="ms")
+    exp.add("latency p99", result.latency.percentile(99.0) * 1e3, unit="ms")
+    print(exp.render())
+    if result.requests == 0 or result.errors == result.requests:
+        print("bench-serve: no successful requests", file=sys.stderr)
+        return 1
+    if args.history:
+        from .obs import history as hist
+
+        report = extras.get("report")
+        if report is None:  # pragma: no cover - _telemetry always builds it
+            print("no run report captured; history row skipped", file=sys.stderr)
+            return 2
+        label = args.history_label or "bench-serve"
+        entry = hist.entry_from_run_report(report, label=label, meta=meta)
+        entry.metrics.update(result.metrics())
+        entry.metrics["serve.cache_hit_rate"] = stats["cache"]["hit_rate"]
+        hist.append_history(args.history, entry)
+        print(f"appended history entry {label!r} to {args.history}")
+    return 0
+
+
 _EXPERIMENTS = {
     "fig2": ("fig2_gpu_sampling", True),
     "fig3": ("fig3_topdown", True),
@@ -1431,6 +1668,156 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --rules: exit 1 if any rule fired (CI gate)",
     )
     p.set_defaults(func=_cmd_top)
+
+    def _serving_model_args(p: argparse.ArgumentParser) -> None:
+        """Flags ``serve`` and ``bench-serve`` share: the model to train
+        and the cache/batcher knobs of the serving pipeline."""
+        p.add_argument(
+            "dataset", nargs="?", default="products",
+            choices=["products", "wikipedia", "papers", "twitter"],
+        )
+        p.add_argument("--scale", type=float, default=0.1)
+        p.add_argument("--model", choices=["gcn", "sage"], default="gcn")
+        p.add_argument("--features", type=int, default=32)
+        p.add_argument("--hidden", type=int, default=32)
+        p.add_argument("--classes", type=int, default=8)
+        p.add_argument("--layers", type=int, default=2)
+        p.add_argument("--epochs", type=int, default=2,
+                       help="training epochs before serving (0 = random init)")
+        p.add_argument("--lr", type=float, default=0.01)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument(
+            "--fanout", type=_positive_int, nargs="*", default=[],
+            metavar="F",
+            help="per-layer neighbor-sampling fanouts (input layer first); "
+            "empty = exact full-neighborhood assembly",
+        )
+        p.add_argument(
+            "--cache-capacity", type=_positive_int, default=4096,
+            help="LRU embedding-cache entries (default: %(default)s)",
+        )
+        p.add_argument(
+            "--cache-max-age", type=_positive_float, default=None,
+            metavar="S",
+            help="staleness bound: cached rows older than S seconds are "
+            "recomputed (default: never stale)",
+        )
+        p.add_argument(
+            "--max-batch", type=_positive_int, default=32,
+            help="request-coalescing batch size cap (default: %(default)s)",
+        )
+        p.add_argument(
+            "--max-wait-ms", type=float, default=2.0,
+            help="max time a lone request waits for batch company "
+            "(default: %(default)s ms)",
+        )
+        p.add_argument(
+            "--max-queue", type=_positive_int, default=128,
+            help="admission-queue bound; beyond it requests shed with 503 "
+            "(default: %(default)s)",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="online inference service over a freshly trained model",
+    )
+    _serving_model_args(p)
+    p.add_argument(
+        "--port", type=int, default=8099,
+        help="inference HTTP port (0 = ephemeral; default: %(default)s)",
+    )
+    p.add_argument(
+        "--duration", type=_positive_float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="SLO rules evaluated once per second against the live "
+        "registry (default: the built-in serve.* rule set)",
+    )
+    p.add_argument(
+        "--no-rules", action="store_true",
+        help="disable the built-in serving SLO rules",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any SLO rule fired during the run",
+    )
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write a Perfetto/chrome://tracing trace JSON",
+    )
+    p.add_argument(
+        "--serve-metrics", metavar="PORT", type=int, default=None,
+        help="additionally serve the live metrics registry over HTTP "
+        "(0 = ephemeral); implies --sample-proc",
+    )
+    p.add_argument("--sample-proc", action="store_true",
+                   help="sample process RSS/CPU and publish proc.* metrics")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a serving endpoint: open-loop arrivals or "
+        "closed-loop concurrency",
+    )
+    p.add_argument("url", help="base URL of a running `repro serve`")
+    p.add_argument("--duration", type=_positive_float, default=3.0)
+    p.add_argument(
+        "--rate", type=_positive_float, default=None, metavar="QPS",
+        help="open-loop Poisson arrival rate (default: closed loop)",
+    )
+    p.add_argument(
+        "--concurrency", type=_positive_int, default=4,
+        help="worker threads (closed loop) / dispatch pool size (open loop)",
+    )
+    p.add_argument(
+        "--sweep", type=_positive_int, nargs="+", default=None,
+        metavar="C",
+        help="closed-loop sweep over these concurrency levels",
+    )
+    p.add_argument(
+        "--vertices", type=_positive_int, default=64,
+        help="query-vertex id range [0, N) (default: %(default)s)",
+    )
+    p.add_argument("--mode", choices=["classify", "embedding"],
+                   default="classify")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=_positive_float, default=10.0)
+    p.add_argument("--out", metavar="FILE",
+                   help="write the result rows as JSON")
+    p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="serving benchmark: in-process server + closed-loop load; "
+        "records qps + latency percentiles as a history row",
+    )
+    _serving_model_args(p)
+    p.add_argument("--duration", type=_positive_float, default=3.0)
+    p.add_argument("--warmup", type=float, default=0.5,
+                   help="untimed warmup seconds (default: %(default)s)")
+    p.add_argument("--concurrency", type=_positive_int, default=4)
+    p.add_argument(
+        "--vertices", type=_positive_int, default=64,
+        help="query-vertex id range [0, N) (default: %(default)s)",
+    )
+    p.add_argument("--mode", choices=["classify", "embedding"],
+                   default="classify")
+    p.add_argument("--trace", metavar="FILE", help="write a JSONL span trace")
+    p.add_argument("--json", metavar="FILE", help="write a run-report JSON")
+    p.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="append qps + latency percentiles as a JSONL perf-history row",
+    )
+    p.add_argument(
+        "--history-label", default=None,
+        help="history row label (default bench-serve)",
+    )
+    p.set_defaults(func=_cmd_bench_serve)
 
     p = sub.add_parser("experiment", help="run one paper artifact")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")

@@ -16,13 +16,15 @@ neighborhood-sample semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..gpu.sampler import MiniBatch, iterate_minibatches
+from ..gpu.sampler import LayerBlock, MiniBatch, iterate_minibatches, sample_blocks
+from ..obs import get_tracer
 from . import functional as F
+from .aggregate import canonical_aggregator
 from .model import GNNModel
 from .optim import Optimizer
 
@@ -55,6 +57,207 @@ def block_aggregate(
         counts[row] += 1.0
     counts = np.maximum(counts, 1.0)
     return (out / counts[:, None]).astype(np.float32)
+
+
+def full_neighbor_blocks(
+    graph: CSRGraph, seeds: np.ndarray, num_layers: int
+) -> MiniBatch:
+    """Exact (unsampled) K-hop blocks for a seed set — the serving path.
+
+    Like :func:`~repro.gpu.sampler.sample_blocks` but with *every*
+    in-neighbor of each frontier vertex (plus the self edge), built
+    vectorized from the CSR arrays: no per-vertex Python loop, so a
+    serving batch assembles in O(edges touched) numpy work.  Frontiers
+    are deduplicated and sorted (``np.unique``), matching the sampler's
+    invariants, so downstream ``searchsorted`` row lookups are valid.
+
+    Edge cases the online service hits are first-class here: an empty
+    seed set yields empty blocks, repeated seeds deduplicate into one
+    destination row, and isolated vertices carry just their self edge.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    blocks_reversed: List[LayerBlock] = []
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    indptr = graph.indptr.astype(np.int64, copy=False)
+    indices = graph.indices.astype(np.int64, copy=False)
+    for _ in range(num_layers):
+        starts = indptr[frontier]
+        degs = indptr[frontier + 1] - starts
+        total = int(degs.sum())
+        if total:
+            # Flat gather positions for every (frontier vertex, neighbor)
+            # pair: arange over the concatenated rows, rebased per row.
+            cum = np.cumsum(degs)
+            base = np.repeat(starts - (cum - degs), degs)
+            edge_src = indices[np.arange(total, dtype=np.int64) + base]
+            edge_dst = np.repeat(frontier, degs)
+        else:
+            edge_src = np.empty(0, dtype=np.int64)
+            edge_dst = np.empty(0, dtype=np.int64)
+        edge_dst = np.concatenate([edge_dst, frontier])  # self edges
+        edge_src = np.concatenate([edge_src, frontier])
+        src_unique = np.unique(edge_src)
+        blocks_reversed.append(
+            LayerBlock(
+                dst_vertices=frontier,
+                src_vertices=src_unique,
+                edge_dst=edge_dst,
+                edge_src=edge_src,
+            )
+        )
+        frontier = src_unique
+    return MiniBatch(
+        seed_vertices=np.asarray(seeds, dtype=np.int64),
+        blocks=tuple(reversed(blocks_reversed)),
+    )
+
+
+def assemble_batch(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    num_layers: int,
+    fanouts: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> MiniBatch:
+    """Neighborhood assembly for a query batch: exact or sampled.
+
+    ``fanouts=None`` (the default, and the serving default) builds exact
+    full neighborhoods; a fanout list routes through the Eq. 3 sampler
+    (one fanout per layer, input-layer first).
+    """
+    if fanouts is None:
+        return full_neighbor_blocks(graph, vertices, num_layers)
+    if len(fanouts) != num_layers:
+        raise ValueError("need one fanout per layer")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return sample_blocks(
+        graph, np.asarray(vertices, dtype=np.int64), fanouts, rng
+    )
+
+
+def _block_weights(
+    d_hat: np.ndarray, block: LayerBlock, aggregator: str, dst_rows: np.ndarray
+) -> np.ndarray:
+    """Per-edge ψ for one block (self edges ride in the edge arrays).
+
+    * ``gcn`` — global-degree symmetric normalization
+      ``1/sqrt(D̂_dst · D̂_src)``; on full neighborhoods this makes the
+      block forward *equal* to the full-batch oracle (the self edge's
+      ``1/sqrt(D̂_v²)`` collapses to the oracle's ``1/D̂_v`` self factor).
+    * ``mean`` — block-local mean over the edges present (GraphSAGE
+      neighborhood-sample semantics); on full neighborhoods the count is
+      ``D+1 = D̂``, again exactly the oracle.
+    """
+    if aggregator == "gcn":
+        return 1.0 / np.sqrt(d_hat[block.edge_dst] * d_hat[block.edge_src])
+    if aggregator == "mean":
+        counts = np.bincount(dst_rows, minlength=len(block.dst_vertices))
+        return 1.0 / np.maximum(counts, 1)[dst_rows].astype(np.float64)
+    raise ValueError(
+        f"block forward supports 'gcn' and 'mean' aggregation, got {aggregator!r}"
+    )
+
+
+def _block_aggregate_vectorized(
+    block: LayerBlock, h_src: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """ψ-weighted segment-sum of a block, no Python loop.
+
+    Edges are stably sorted by destination row, then one
+    ``np.add.reduceat`` per block reduces each destination's gathered,
+    scaled neighbor rows.  Destinations with no edges (impossible when
+    self edges are present, but kept safe) stay zero.
+    """
+    out = np.zeros((len(block.dst_vertices), h_src.shape[1]), dtype=np.float64)
+    if block.num_edges:
+        dst_rows = np.searchsorted(block.dst_vertices, block.edge_dst)
+        src_rows = np.searchsorted(block.src_vertices, block.edge_src)
+        order = np.argsort(dst_rows, kind="stable")
+        sorted_dst = dst_rows[order]
+        contrib = h_src[src_rows[order]].astype(np.float64)
+        contrib *= weights[order][:, None]
+        seg_starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_dst)) + 1]
+        )
+        out[sorted_dst[seg_starts]] = np.add.reduceat(contrib, seg_starts, axis=0)
+    return out.astype(np.float32)
+
+
+@dataclass
+class BlockForwardResult:
+    """Inference output of one assembled batch.
+
+    Rows align with ``query_vertices`` (the deduplicated, sorted seed
+    set); callers with repeated/unsorted queries map back with
+    ``np.searchsorted(query_vertices, requested)``.
+    """
+
+    query_vertices: np.ndarray
+    logits: np.ndarray  # (len(query_vertices), num_classes)
+    embeddings: np.ndarray  # input representation of the final layer
+
+
+def block_forward(
+    graph: CSRGraph,
+    model: GNNModel,
+    batch: MiniBatch,
+    features: np.ndarray,
+) -> BlockForwardResult:
+    """Vectorized inference forward over assembled blocks — serving's
+    hot path.
+
+    Computes only the rows the query needs (frontier-restricted), with
+    no dropout and no caches.  Each layer runs under a ``kernel.serve.
+    block`` span so a traced request shows its compute the same way a
+    traced epoch does.  On :func:`full_neighbor_blocks` output this
+    matches ``model.predict`` row-for-row (up to fp32 reduction-order
+    noise) for both supported aggregators.
+    """
+    if len(batch.blocks) != model.num_layers:
+        raise ValueError(
+            f"batch has {len(batch.blocks)} blocks for a "
+            f"{model.num_layers}-layer model"
+        )
+    tracer = get_tracer()
+    # One global-degree pass serves every gcn layer in the batch.
+    d_hat = graph.degrees().astype(np.float64) + 1.0
+    h = features[batch.blocks[0].src_vertices].astype(np.float32, copy=False)
+    query = batch.blocks[-1].dst_vertices
+    embeddings = h
+    for idx, (layer, block) in enumerate(zip(model.layers, batch.blocks)):
+        if idx == model.num_layers - 1:
+            # The final layer's input, restricted to the query rows, is
+            # the served "embedding" representation.
+            rows = np.searchsorted(block.src_vertices, query)
+            embeddings = h[rows]
+        with tracer.span(
+            "kernel.serve.block",
+            index=idx,
+            aggregator=layer.aggregator,
+        ) as span:
+            aggregator = canonical_aggregator(layer.aggregator)
+            dst_rows = (
+                np.searchsorted(block.dst_vertices, block.edge_dst)
+                if block.num_edges
+                else np.empty(0, dtype=np.int64)
+            )
+            weights = _block_weights(d_hat, block, aggregator, dst_rows)
+            a = _block_aggregate_vectorized(block, h, weights)
+            pre = a @ layer.weight + layer.bias
+            h = (F.relu(pre) if layer.activation else pre).astype(np.float32)
+            span.add_counters(
+                {
+                    "edges": float(block.num_edges),
+                    "dst_vertices": float(len(block.dst_vertices)),
+                    "src_vertices": float(len(block.src_vertices)),
+                    "gathers": float(block.num_edges),
+                }
+            )
+    return BlockForwardResult(
+        query_vertices=query, logits=h, embeddings=embeddings
+    )
 
 
 @dataclass

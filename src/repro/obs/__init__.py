@@ -131,9 +131,11 @@ from .profiler import (
 )
 from .rules import (
     Alert,
+    DEFAULT_SERVE_RULES,
     Rule,
     RuleEngine,
     RuleParseError,
+    default_serve_rules,
     load_rules,
     parse_rule,
     parse_rules,
@@ -263,6 +265,8 @@ __all__ = [
     "NULL_SERVER",
     "NULL_TRACER",
     "DEFAULT_SAMPLING_HZ",
+    "DEFAULT_SERVE_RULES",
+    "default_serve_rules",
     "PROFILE_SCHEMA_VERSION",
     "ProfileData",
     "ProfileDiff",

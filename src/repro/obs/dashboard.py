@@ -702,6 +702,87 @@ def _profile_section(report: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _serving_section(report: Dict[str, Any]) -> str:
+    """Serving-plane latency section, when ``serve.*`` metrics exist.
+
+    Tiles for traffic + cache outcomes, then one bar chart of request
+    p50/p95/p99 and a stage-latency table (queue / assemble / forward /
+    request) so tail amplification between stages is visible.
+    """
+    metrics = report.get("metrics") or {}
+
+    def counter(name: str) -> Optional[float]:
+        doc = metrics.get(name) or {}
+        value = doc.get("value")
+        return float(value) if isinstance(value, (int, float)) else None
+
+    requests = counter("serve.requests")
+    if requests is None:
+        return ""
+    parts = ["<h2>Serving</h2>"]
+    tiles = [_tile("Requests", _fmt(requests))]
+    errors = counter("serve.errors") or 0.0
+    rejected = counter("serve.rejected") or 0.0
+    tiles.append(_tile("Errors", _fmt(errors), state="bad" if errors else "good"))
+    if rejected:
+        tiles.append(_tile("Shed (503)", _fmt(rejected), state="bad"))
+    hits = counter("serve.cache.hits") or 0.0
+    misses = counter("serve.cache.misses") or 0.0
+    if hits + misses:
+        tiles.append(_tile("Cache hit rate", _fmt_pct(hits / (hits + misses))))
+    occupancy = metrics.get("serve.batch.occupancy") or {}
+    if occupancy.get("count"):
+        tiles.append(
+            _tile(
+                "Batch occupancy p50",
+                _fmt(occupancy.get("p50") or 0.0),
+            )
+        )
+    parts.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    request_hist = metrics.get("serve.latency.request_s") or {}
+    if request_hist.get("count"):
+        items = [
+            (quantile, float(request_hist.get(quantile) or 0.0) * 1e3)
+            for quantile in ("p50", "p95", "p99")
+        ]
+        parts.append(
+            bar_chart(
+                "Request latency percentiles",
+                items,
+                y_format=lambda v: f"{v:.2f} ms",
+            )
+        )
+    stage_rows = []
+    for stage, name in (
+        ("queue", "serve.latency.queue_s"),
+        ("assemble", "serve.latency.assemble_s"),
+        ("forward", "serve.latency.forward_s"),
+        ("request", "serve.latency.request_s"),
+    ):
+        doc = metrics.get(name) or {}
+        if not doc.get("count"):
+            continue
+        stage_rows.append(
+            [
+                stage,
+                f"{float(doc.get('p50') or 0.0) * 1e3:.2f} ms",
+                f"{float(doc.get('p95') or 0.0) * 1e3:.2f} ms",
+                f"{float(doc.get('p99') or 0.0) * 1e3:.2f} ms",
+                str(doc.get("count", 0)),
+            ]
+        )
+    if stage_rows:
+        parts.append(
+            _data_table(
+                ["stage", "p50", "p95", "p99", "samples"],
+                stage_rows,
+                summary="stage latency breakdown",
+            )
+        )
+    return "".join(parts)
+
+
 def _span_summary(report: Dict[str, Any]) -> str:
     spans = report.get("spans") or []
     totals: Dict[str, Tuple[int, float]] = {}
@@ -748,6 +829,7 @@ def build_dashboard(
             charts.append(trend)
     sections.append(f'<div class="grid-2">{"".join(charts)}</div>')
     if report:
+        sections.append(_serving_section(report))
         sections.append(_profile_section(report))
         sections.append(_span_summary(report))
 

@@ -40,8 +40,15 @@ DEFAULT_BASELINE_RUNS = 5
 BASELINE_FLOOR = 1e-12
 
 #: Metric-name suffixes gated as higher-is-better without an explicit
-#: ``higher_is_better`` list (speedup ratios regress *downward*).
-HIGHER_IS_BETTER_SUFFIXES = ("speedup_x", "epochs_per_s", "efficiency")
+#: ``higher_is_better`` list (speedup ratios and serving throughput
+#: regress *downward*).
+HIGHER_IS_BETTER_SUFFIXES = (
+    "speedup_x",
+    "epochs_per_s",
+    "efficiency",
+    "qps",
+    "requests_per_s",
+)
 
 
 def default_higher_is_better(names: Iterable[str]) -> set:
@@ -195,10 +202,11 @@ class MetricComparison:
     def format(self, width: int = 36) -> str:
         if self.baseline is None:
             return f"{self.name:<{width}} {self.current:12.6g}  ({self.status})"
+        ratio = f"{self.ratio:5.2f}" if self.ratio is not None else "    -"
         return (
             f"{self.name:<{width}} {self.current:12.6g}  "
             f"baseline {self.baseline:12.6g}  "
-            f"ratio {self.ratio:5.2f}  {self.status}"
+            f"ratio {ratio}  {self.status}"
         )
 
 

@@ -51,6 +51,10 @@ DEFAULT_STALE_AFTER_S = 5.0
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
+#: Metric-name prefixes :class:`LiveRunMonitor` renders with bespoke
+#: sections; anything else falls through to the generic family view.
+_NATIVE_PLANES = ("train.", "proc.", "executor.", "serve.")
+
 
 # ----------------------------------------------------------------------
 # Prometheus text exposition
@@ -433,6 +437,22 @@ class LiveRunMonitor:
         age = doc.get("age_s") if doc else None
         return float(age) if isinstance(age, (int, float)) else None
 
+    def _counter(self, name: str) -> Optional[float]:
+        doc = self.metrics.get(name)
+        if doc and doc.get("type") == "counter":
+            value = doc.get("value")
+            return float(value) if isinstance(value, (int, float)) else None
+        return None
+
+    def _rate(self, name: str) -> Optional[float]:
+        doc = self.metrics.get(name)
+        rate = doc.get("rate_per_s") if doc else None
+        return float(rate) if isinstance(rate, (int, float)) else None
+
+    def _hist(self, name: str) -> Optional[Dict[str, Any]]:
+        doc = self.metrics.get(name)
+        return doc if doc and doc.get("type") == "histogram" else None
+
     def render(self) -> str:
         """One frame of the live view (plain text, no ANSI)."""
         lines: List[str] = []
@@ -509,6 +529,9 @@ class LiveRunMonitor:
         if phase_bits:
             lines.append("phase " + ", ".join(phase_bits))
 
+        lines.extend(self._render_serve())
+        lines.extend(self._render_other_families())
+
         if self.rules is not None:
             active = self.rules.active
             if active:
@@ -522,6 +545,105 @@ class LiveRunMonitor:
                     f"{self.rules.evaluations} evaluation(s))"
                 )
         return "\n".join(lines)
+
+    def _render_serve(self) -> List[str]:
+        """The serving plane, when ``serve.*`` metrics are present."""
+        requests = self._counter("serve.requests")
+        if requests is None:
+            return []
+        lines: List[str] = []
+        rate = self._rate("serve.requests")
+        rejected = self._counter("serve.rejected") or 0.0
+        errors = self._counter("serve.errors") or 0.0
+        bits = [f"requests {requests:.0f}"]
+        if rate is not None:
+            bits.append(f"{rate:.1f} req/s")
+        if errors:
+            bits.append(f"{errors:.0f} error(s)")
+        if rejected:
+            bits.append(f"{rejected:.0f} rejected")
+        depth = self._gauge("serve.queue_depth")
+        inflight = self._gauge("serve.inflight")
+        if depth is not None:
+            bits.append(f"queue {depth:.0f}")
+        if inflight is not None and inflight:
+            bits.append(f"inflight {inflight:.0f}")
+        lines.append("serve " + "  ".join(bits))
+        hits = self._counter("serve.cache.hits")
+        misses = self._counter("serve.cache.misses")
+        if hits is not None or misses is not None:
+            total = (hits or 0.0) + (misses or 0.0)
+            hit_pct = 100.0 * (hits or 0.0) / total if total else 0.0
+            size = self._gauge("serve.cache.size")
+            lines.append(
+                f"cache hit {hit_pct:.0f}% ({(hits or 0):.0f}/{total:.0f})"
+                + (f"  size {size:.0f}" if size is not None else "")
+            )
+        latency = self._hist("serve.latency.request_s")
+        if latency:
+            lines.append(
+                "lat   p50 {:.1f} ms  p95 {:.1f} ms  p99 {:.1f} ms "
+                "({} sample(s))".format(
+                    (latency.get("p50") or 0.0) * 1e3,
+                    (latency.get("p95") or 0.0) * 1e3,
+                    (latency.get("p99") or 0.0) * 1e3,
+                    latency.get("count", 0),
+                )
+            )
+        occupancy = self._hist("serve.batch.occupancy")
+        if occupancy:
+            lines.append(
+                f"batch occupancy p50 {occupancy.get('p50') or 0:.1f}  "
+                f"p95 {occupancy.get('p95') or 0:.1f}  "
+                f"({occupancy.get('count', 0)} batch(es))"
+            )
+        return lines
+
+    def _render_other_families(self, max_lines: int = 8) -> List[str]:
+        """Generic one-line-per-family view of unrecognized metrics.
+
+        Anything outside the planes the view renders natively
+        (``train.*`` / ``proc.*`` / ``executor.*`` / ``serve.*``) is
+        grouped by its first dotted segment, so new subsystems show up
+        in ``repro top`` the day they start publishing, without a
+        bespoke section.
+        """
+        families: Dict[str, List[str]] = {}
+        for name in sorted(self.metrics):
+            if name.startswith(_NATIVE_PLANES):
+                continue
+            doc = self.metrics[name]
+            kind = doc.get("type")
+            short = name.split(".", 1)[1] if "." in name else name
+            if kind == "counter":
+                rate = doc.get("rate_per_s")
+                cell = f"{short} {doc.get('value', 0):g}"
+                if isinstance(rate, (int, float)):
+                    cell += f" ({rate:.1f}/s)"
+            elif kind == "gauge":
+                value = doc.get("value")
+                cell = (
+                    f"{short}={value:g}"
+                    if isinstance(value, (int, float))
+                    else f"{short}=?"
+                )
+            elif kind == "histogram":
+                cell = (
+                    f"{short} p50={doc.get('p50') or 0:.3g} "
+                    f"p99={doc.get('p99') or 0:.3g} n={doc.get('count', 0)}"
+                )
+            else:
+                cell = f"{short}={doc.get('value')}"
+            families.setdefault(name.split(".", 1)[0], []).append(cell)
+        lines: List[str] = []
+        for family in sorted(families):
+            if len(lines) >= max_lines:
+                lines.append(
+                    f"…     {len(families) - max_lines} more familie(s)"
+                )
+                break
+            lines.append(f"{family[:5]:<5} " + "  ".join(families[family][:6]))
+        return lines
 
     # ------------------------------------------------------------------
     def follow(

@@ -178,6 +178,16 @@ class Histogram:
             bucket = self._bucket_of(value)
             self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the block's monotonic duration.
+
+        ``with hist.time(): ...`` is equivalent to measuring the block
+        with ``time.perf_counter()`` and calling :meth:`observe` with
+        the difference — the duration is recorded even when the block
+        raises, so error latencies still land in the distribution.
+        """
+        return _HistogramTimer(self)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -274,6 +284,23 @@ class Histogram:
         self._samples = state["samples"]
         self._buckets = state["buckets"]
         self._lock = threading.Lock()
+
+
+class _HistogramTimer:
+    """Times a ``with`` block and observes the duration in seconds."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
 
 
 Metric = Union[Counter, Gauge, Histogram]

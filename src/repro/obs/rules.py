@@ -229,6 +229,24 @@ def load_rules(path: str) -> List[Rule]:
         return parse_rules(handle.read())
 
 
+#: Default SLO envelope for the serving plane (``repro serve`` uses it
+#: when no ``--rules`` file is given).  Thresholds are deliberately
+#: loose — they page on pathology (multi-second tail latency, a standing
+#: queue, reject storms), not on a busy-but-healthy server.
+DEFAULT_SERVE_RULES = """\
+# serving-plane SLOs (defaults; override with --rules)
+serve_p99:     serve.latency.request_s p99 < 2.5
+serve_queue:   serve.queue_depth <= 512 for 3
+serve_rejects: serve.rejected rate < 50 for 3
+serve_errors:  serve.errors rate < 10 for 3
+"""
+
+
+def default_serve_rules() -> List[Rule]:
+    """The parsed :data:`DEFAULT_SERVE_RULES` set."""
+    return parse_rules(DEFAULT_SERVE_RULES)
+
+
 @dataclass
 class _RuleState:
     consecutive: int = 0

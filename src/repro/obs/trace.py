@@ -122,7 +122,9 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **attrs: Any) -> NullSpan:
+    def span(
+        self, name: str, parent: Optional["Span"] = None, **attrs: Any
+    ) -> NullSpan:
         return _NULL_SPAN
 
     def record(
@@ -132,6 +134,7 @@ class NullTracer:
         attrs: Optional[Dict[str, Any]] = None,
         counters: Optional[Dict[str, float]] = None,
         start_s: Optional[float] = None,
+        parent: Optional["Span"] = None,
     ) -> None:
         pass
 
@@ -210,9 +213,17 @@ class Tracer:
         return stack[-1] if stack else None
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
-        """Open a child span of the caller's current span."""
-        parent = self.current()
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> _ActiveSpan:
+        """Open a child span of the caller's current span.
+
+        ``parent`` overrides the implicit stack parent — the serving
+        path uses it to hang a worker-thread span (``serve.batch``)
+        under the request span opened on the HTTP handler thread.
+        """
+        if parent is None:
+            parent = self.current()
         span = Span(
             span_id=self._new_id(),
             parent_id=parent.span_id if parent is not None else None,
@@ -229,13 +240,16 @@ class Tracer:
         attrs: Optional[Dict[str, Any]] = None,
         counters: Optional[Dict[str, float]] = None,
         start_s: Optional[float] = None,
+        parent: Optional[Span] = None,
     ) -> Span:
         """Add an already-measured span (e.g. a worker's chunk batch).
 
-        The span becomes a child of the calling thread's current span;
+        The span becomes a child of the calling thread's current span
+        unless an explicit ``parent`` is given (cross-thread spans);
         ``start_s`` defaults to ``now - duration_s``.
         """
-        parent = self.current()
+        if parent is None:
+            parent = self.current()
         if start_s is None:
             start_s = self.clock() - duration_s
         span = Span(

@@ -1,0 +1,53 @@
+"""Online GNN inference serving — ROADMAP item 1, observability-first.
+
+The serving plane answers per-vertex / per-batch classification and
+embedding queries against a trained model, built from four pieces:
+
+* :mod:`repro.serve.server` — :class:`InferenceService` (the request
+  pipeline) and :class:`ServingServer` (the ``ThreadingHTTPServer``
+  front end);
+* :mod:`repro.serve.batcher` — bounded admission queue + max-size /
+  max-wait request coalescing on one worker thread;
+* :mod:`repro.serve.cache` — LRU per-vertex result cache with a
+  staleness bound;
+* :mod:`repro.serve.loadgen` — the benchmark client (open-loop Poisson
+  arrivals, closed-loop concurrency sweep, client-side percentiles).
+
+Every request is born with a trace id and renders as the span tree
+``serve.request → serve.queue → serve.batch → kernel.*`` when tracing
+is on; the ``serve.*`` metric families flow through the active registry
+to ``/metrics``, SLO rules, ``repro top``, and the dashboard.
+"""
+
+from .batcher import RequestBatcher, ServeRequest
+from .cache import EmbeddingCache
+from .loadgen import (
+    LoadgenResult,
+    concurrency_sweep,
+    run_loadgen,
+    write_results,
+)
+from .server import (
+    DEFAULT_TIMEOUT_S,
+    MODES,
+    AdmissionRejected,
+    InferenceService,
+    RequestTimeout,
+    ServingServer,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "DEFAULT_TIMEOUT_S",
+    "EmbeddingCache",
+    "InferenceService",
+    "LoadgenResult",
+    "MODES",
+    "RequestBatcher",
+    "RequestTimeout",
+    "ServeRequest",
+    "ServingServer",
+    "concurrency_sweep",
+    "run_loadgen",
+    "write_results",
+]

@@ -1,0 +1,196 @@
+"""Request batcher: admission queue + max-size/max-wait coalescing.
+
+Inference on one vertex and on thirty-two vertices cost nearly the same
+(the frontier dedups, the matmuls batch), so the server coalesces
+concurrent requests into one forward pass.  The policy is the standard
+serving pair:
+
+* **max_batch** — a batch closes as soon as it holds this many
+  requests;
+* **max_wait_s** — a lone request never waits longer than this for
+  company; the window opens when the *first* request of a batch is
+  dequeued.
+
+Upstream of the worker sits a bounded **admission queue**: when it is
+full, :meth:`RequestBatcher.submit` refuses immediately (the caller
+answers HTTP 503) instead of letting latency collapse under a standing
+queue — load shedding as a first-class, counted outcome.
+
+Telemetry: ``serve.queue_depth`` / ``serve.inflight`` gauges,
+``serve.batches`` counter, ``serve.batch.occupancy`` and
+``serve.latency.queue_s`` histograms, plus one ``serve.queue`` span per
+request (parented under that request's ``serve.request`` span) so the
+queue wait is visible inside the request's trace tree.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight query travelling handler thread -> worker thread."""
+
+    vertices: np.ndarray  # requested vertex ids (global, possibly repeated)
+    mode: str  # "classify" | "embedding"
+    trace_id: str
+    span: Optional[Any] = None  # the open serve.request Span (or None)
+    missing: Optional[np.ndarray] = None  # vertices the cache could not answer
+    cached_rows: Dict[int, Any] = field(default_factory=dict)
+    enqueued_monotonic: float = 0.0
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[BaseException] = None
+
+    def finish(self, result: Optional[Dict[str, Any]] = None,
+               error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+class RequestBatcher:
+    """Single worker thread draining a bounded queue into batches."""
+
+    def __init__(
+        self,
+        handler: Callable[[List[ServeRequest]], None],
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_queue: int = 128,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.handler = handler
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self.batches = 0
+        self.submitted = 0
+        self.rejected = 0
+        self._queue: "queue.Queue[Optional[ServeRequest]]" = queue.Queue(
+            maxsize=max_queue
+        )
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def _registry(self):
+        from ..obs import get_metrics
+
+        return get_metrics()
+
+    def submit(self, request: ServeRequest) -> bool:
+        """Enqueue a request; ``False`` means admission-rejected (full)."""
+        request.enqueued_monotonic = time.monotonic()
+        registry = self._registry()
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.rejected += 1
+            registry.inc("serve.rejected")
+            return False
+        self.submitted += 1
+        registry.set_gauge("serve.queue_depth", float(self._queue.qsize()))
+        return True
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the worker after the queue drains (idempotent)."""
+        if not self._stop.is_set():
+            self._stop.set()
+            self._queue.put(None)  # wake the worker
+        self._thread.join(timeout=timeout_s)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    request = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if request is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(request)
+            self._dispatch(batch)
+            if self._stop.is_set() and self._queue.empty():
+                return
+
+    def _dispatch(self, batch: List[ServeRequest]) -> None:
+        from ..obs import get_tracer
+
+        registry = self._registry()
+        tracer = get_tracer()
+        now = time.monotonic()
+        self.batches += 1
+        registry.set_gauge("serve.queue_depth", float(self._queue.qsize()))
+        registry.set_gauge("serve.inflight", float(len(batch)))
+        registry.inc("serve.batches")
+        registry.observe("serve.batch.occupancy", float(len(batch)))
+        queue_hist = registry.histogram("serve.latency.queue_s")
+        for request in batch:
+            waited = max(0.0, now - request.enqueued_monotonic)
+            queue_hist.observe(waited)
+            tracer.record(
+                "serve.queue",
+                waited,
+                attrs={"trace_id": request.trace_id},
+                parent=request.span,
+            )
+        try:
+            self.handler(batch)
+        except BaseException as error:  # noqa: BLE001 - worker must survive
+            for request in batch:
+                if not request.done.is_set():
+                    request.finish(error=error)
+        finally:
+            registry.set_gauge("serve.inflight", 0.0)
+            for request in batch:
+                if not request.done.is_set():  # handler forgot one: unblock
+                    request.finish(
+                        error=RuntimeError("batch handler returned no result")
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_s": self.max_wait_s,
+            "max_queue": self.max_queue,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+        }

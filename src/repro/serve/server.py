@@ -1,0 +1,425 @@
+"""Online GNN inference service: request loop + instrumented pipeline.
+
+:class:`InferenceService` answers per-vertex / per-batch classification
+and embedding queries against a trained :class:`~repro.nn.model.
+GNNModel`.  One request's life:
+
+1. **admission** — born with a fresh trace id under a ``serve.request``
+   span on the HTTP handler thread; rejected (503) when the batcher's
+   queue is full;
+2. **cache** — per-vertex LRU lookup; a full hit answers without
+   touching the compute path;
+3. **queue + batch** — the request parks in the batcher; the worker
+   thread coalesces neighbors (max-size / max-wait), records each
+   request's ``serve.queue`` wait, and opens one ``serve.batch`` span
+   parented under the batch's first request;
+4. **assemble + forward** — neighborhood assembly
+   (:func:`~repro.nn.minibatch.assemble_batch`, exact by default) and
+   the vectorized block forward, whose ``kernel.serve.block`` spans
+   nest under ``serve.batch`` — so one traced request renders as
+   ``serve.request → serve.queue → serve.batch → kernel.*``;
+5. **reply** — per-vertex rows (cached + fresh merged) serialize to
+   JSON with the trace id and measured latency; fresh rows feed the
+   cache on the way out.
+
+:class:`ServingServer` is the stdlib ``ThreadingHTTPServer`` front end
+(same shape as :class:`~repro.obs.live.MetricsServer`): ``GET/POST
+/v1/predict``, ``/healthz``, ``/stats.json``.  Publish the ``serve.*``
+metrics through a ``MetricsServer`` ``/metrics`` endpoint by enabling
+telemetry around the service (the CLI's ``--serve-metrics`` does).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..nn.minibatch import assemble_batch, block_forward
+from ..nn.model import GNNModel
+from .batcher import RequestBatcher, ServeRequest
+from .cache import EmbeddingCache
+
+logger = logging.getLogger(__name__)
+
+#: Query modes a request may ask for.
+MODES = ("classify", "embedding")
+
+#: Default end-to-end wait bound before a request gives up (504).
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class AdmissionRejected(RuntimeError):
+    """The batcher's admission queue was full — shed, not queued."""
+
+
+class RequestTimeout(RuntimeError):
+    """The batcher did not answer within the request's wait bound."""
+
+
+class InferenceService:
+    """The serving pipeline: cache -> batcher -> assembled block forward."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        features: np.ndarray,
+        model: GNNModel,
+        cache_capacity: int = 4096,
+        cache_max_age_s: Optional[float] = None,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_queue: int = 128,
+        fanouts: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ) -> None:
+        if features.shape[0] != graph.num_vertices:
+            raise ValueError(
+                f"feature rows {features.shape[0]} != "
+                f"num_vertices {graph.num_vertices}"
+            )
+        self.graph = graph
+        self.features = features
+        self.model = model
+        self.fanouts = list(fanouts) if fanouts is not None else None
+        self._rng = np.random.default_rng(seed)
+        self.cache = EmbeddingCache(
+            capacity=cache_capacity, max_age_s=cache_max_age_s
+        )
+        self.batcher = RequestBatcher(
+            self._run_batch,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_queue=max_queue,
+        )
+        self.requests = 0
+        self.errors = 0
+        self._started_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def _obs(self):
+        from ..obs import get_metrics, get_tracer
+
+        return get_tracer(), get_metrics()
+
+    def query(
+        self,
+        vertices: Sequence[int],
+        mode: str = "classify",
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> Dict[str, Any]:
+        """Answer one request (runs on the caller's thread; blocking).
+
+        Raises ``ValueError`` on bad input, :class:`AdmissionRejected`
+        under shed load, :class:`RequestTimeout` past ``timeout_s``.
+        """
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        requested = np.asarray(list(vertices), dtype=np.int64)
+        if requested.size == 0:
+            raise ValueError("request needs at least one vertex")
+        if requested.min() < 0 or requested.max() >= self.graph.num_vertices:
+            raise ValueError(
+                f"vertex ids must be in [0, {self.graph.num_vertices}), "
+                f"got {requested.min()}..{requested.max()}"
+            )
+        tracer, registry = self._obs()
+        trace_id = uuid.uuid4().hex
+        start = time.perf_counter()
+        self.requests += 1
+        with tracer.span(
+            "serve.request",
+            trace_id=trace_id,
+            mode=mode,
+            vertices=int(requested.size),
+        ) as active:
+            registry.inc("serve.requests")
+            try:
+                values, cached_all, batched = self._resolve(
+                    requested, active, trace_id, timeout_s
+                )
+            except BaseException:
+                self.errors += 1
+                registry.inc("serve.errors")
+                active.set_attr("status", "error")
+                raise
+            latency_s = time.perf_counter() - start
+            registry.observe("serve.latency.request_s", latency_s)
+            active.set_attr("cached", cached_all)
+            active.set_attr("batched", batched)
+            active.set_attr("status", "ok")
+        return self._render(requested, mode, values, trace_id, latency_s,
+                            cached_all)
+
+    def _resolve(
+        self, requested: np.ndarray, active: Any, trace_id: str,
+        timeout_s: float,
+    ) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray]], bool, bool]:
+        """Per-vertex (logits, embedding) rows: cache first, batch rest."""
+        unique = np.unique(requested)
+        cached_rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        missing: List[int] = []
+        for v in unique:
+            value = self.cache.get(int(v))
+            if value is None:
+                missing.append(int(v))
+            else:
+                cached_rows[int(v)] = value
+        if not missing:
+            return cached_rows, True, False
+        request = ServeRequest(
+            vertices=requested,
+            mode="batch",
+            trace_id=trace_id,
+            span=getattr(active, "span", None),
+            missing=np.asarray(missing, dtype=np.int64),
+            cached_rows=cached_rows,
+        )
+        if not self.batcher.submit(request):
+            raise AdmissionRejected(
+                f"admission queue full ({self.batcher.max_queue} waiting)"
+            )
+        if not request.done.wait(timeout=timeout_s):
+            raise RequestTimeout(f"no answer within {timeout_s:g}s")
+        if request.error is not None:
+            raise request.error
+        return request.result["values"], False, True
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch: List[ServeRequest]) -> None:
+        """Batcher worker: one assembled forward for the whole batch."""
+        tracer, registry = self._obs()
+        need = np.unique(
+            np.concatenate([r.missing for r in batch if r.missing is not None])
+        )
+        with tracer.span(
+            "serve.batch",
+            parent=batch[0].span,
+            requests=len(batch),
+            vertices=int(need.size),
+            trace_id=batch[0].trace_id,
+            trace_ids=[r.trace_id for r in batch],
+        ) as span:
+            try:
+                with registry.histogram("serve.latency.assemble_s").time():
+                    assembled = assemble_batch(
+                        self.graph, need, self.model.num_layers,
+                        fanouts=self.fanouts, rng=self._rng,
+                    )
+                with registry.histogram("serve.latency.forward_s").time():
+                    result = block_forward(
+                        self.graph, self.model, assembled, self.features
+                    )
+                span.add_counters(
+                    {"assembled_edges": float(assembled.total_sampled_edges)}
+                )
+            except BaseException as error:  # noqa: BLE001 - fail the batch
+                for request in batch:
+                    request.finish(error=error)
+                return
+            computed: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            rows = np.searchsorted(result.query_vertices, need)
+            for v, row in zip(need.tolist(), rows.tolist()):
+                value = (result.logits[row], result.embeddings[row])
+                computed[v] = value
+                self.cache.put(v, value)
+            for request in batch:
+                values = dict(request.cached_rows)
+                if request.missing is not None:
+                    for v in request.missing.tolist():
+                        values[v] = computed[v]
+                request.finish(result={"values": values})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _render(
+        requested: np.ndarray,
+        mode: str,
+        values: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        trace_id: str,
+        latency_s: float,
+        cached: bool,
+    ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "trace_id": trace_id,
+            "mode": mode,
+            "vertices": [int(v) for v in requested],
+            "latency_ms": latency_s * 1e3,
+            "cached": cached,
+        }
+        if mode == "classify":
+            classes, scores = [], []
+            for v in requested.tolist():
+                logits, _ = values[v]
+                classes.append(int(np.argmax(logits)))
+                scores.append(float(np.max(logits)))
+            response["classes"] = classes
+            response["scores"] = scores
+        else:
+            response["embeddings"] = [
+                [float(x) for x in values[v][1]] for v in requested.tolist()
+            ]
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "requests": self.requests,
+            "errors": self.errors,
+            "graph": {
+                "name": self.graph.name,
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+            },
+            "model": {
+                "layers": self.model.num_layers,
+                "widths": self.model.hidden_widths(),
+            },
+            "assembly": "sampled" if self.fanouts else "exact",
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+        }
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+# ----------------------------------------------------------------------
+class _ServeHandler(BaseHTTPRequestHandler):
+    """HTTP front end bound to the owning :class:`ServingServer`."""
+
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> InferenceService:
+        return self.server.owner.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = urlsplit(self.path)
+        if parts.path == "/v1/predict":
+            params = parse_qs(parts.query)
+            raw = params.get("vertices", params.get("vertex", []))
+            vertices: List[int] = []
+            try:
+                for chunk in raw:
+                    vertices.extend(int(v) for v in chunk.split(",") if v)
+            except ValueError:
+                self._reply_json(400, {"error": "vertex ids must be integers"})
+                return
+            mode = params.get("mode", ["classify"])[0]
+            self._predict(vertices, mode)
+        elif parts.path == "/healthz":
+            self._reply_json(200, {"status": "ok", **self.service.stats()["model"]})
+        elif parts.path in ("/", "/stats.json"):
+            self._reply_json(200, self.service.stats())
+        else:
+            self._reply_json(404, {"error": "not found"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if urlsplit(self.path).path != "/v1/predict":
+            self._reply_json(404, {"error": "not found"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            doc = json.loads(self.rfile.read(length) or b"{}")
+            vertices = [int(v) for v in doc.get("vertices", [])]
+            mode = doc.get("mode", "classify")
+        except (ValueError, TypeError):
+            self._reply_json(400, {"error": "body must be JSON with integer "
+                                            "'vertices' and optional 'mode'"})
+            return
+        self._predict(vertices, mode)
+
+    def _predict(self, vertices: List[int], mode: str) -> None:
+        try:
+            response = self.service.query(vertices, mode=mode)
+        except ValueError as error:
+            self._reply_json(400, {"error": str(error)})
+        except AdmissionRejected as error:
+            self._reply_json(503, {"error": str(error)})
+        except RequestTimeout as error:
+            self._reply_json(504, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - serve a 500, keep running
+            logger.exception("request failed")
+            self._reply_json(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply_json(200, response)
+
+    def _reply_json(self, status: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("serve: " + format, *args)
+
+
+class ServingServer:
+    """Background HTTP server answering inference queries.
+
+    Same contract as :class:`~repro.obs.live.MetricsServer`: ``port=0``
+    binds ephemerally, requests run on daemon threads (one per
+    connection — the batcher is what bounds concurrency), usable as a
+    context manager.
+    """
+
+    def __init__(
+        self, service: InferenceService, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> Optional[str]:
+        return f"http://{self.host}:{self.port}" if self._httpd else None
+
+    def start(self) -> "ServingServer":
+        if self._httpd is None:
+            httpd = ThreadingHTTPServer(
+                (self.host, self._requested_port), _ServeHandler
+            )
+            httpd.daemon_threads = True
+            httpd.owner = self  # type: ignore[attr-defined]
+            self._httpd = httpd
+            self._thread = threading.Thread(
+                target=httpd.serve_forever,
+                name="repro-serve-server",
+                daemon=True,
+            )
+            self._thread.start()
+            logger.info("inference server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

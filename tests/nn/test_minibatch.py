@@ -1,4 +1,4 @@
-"""Unit tests for mini-batch (sampled) training."""
+"""Unit tests for mini-batch (sampled) training and block assembly."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,13 @@ import pytest
 from repro.gpu import sample_blocks
 from repro.graphs import planted_partition_graph
 from repro.nn import Adam, build_model
-from repro.nn.minibatch import MiniBatchTrainer, block_aggregate
+from repro.nn.minibatch import (
+    MiniBatchTrainer,
+    assemble_batch,
+    block_aggregate,
+    block_forward,
+    full_neighbor_blocks,
+)
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +41,109 @@ class TestBlockAggregate:
             np.zeros((0, 2), np.float32), {},
         )
         np.testing.assert_array_equal(out, 0.0)
+
+
+class TestFullNeighborBlocks:
+    def test_empty_frontier_yields_empty_blocks(self, tiny_graph):
+        batch = full_neighbor_blocks(tiny_graph, np.array([], dtype=np.int64), 2)
+        assert len(batch.blocks) == 2
+        for block in batch.blocks:
+            assert block.dst_vertices.size == 0
+            assert block.edge_dst.size == 0
+        assert batch.seed_vertices.size == 0
+
+    def test_isolated_vertex_gets_only_its_self_edge(self, tiny_graph):
+        # vertex 4 has no in-edges; the block must still carry its self
+        # edge so the forward produces a defined (not garbage) row
+        batch = full_neighbor_blocks(tiny_graph, np.array([4]), 1)
+        block = batch.blocks[0]
+        np.testing.assert_array_equal(block.dst_vertices, [4])
+        np.testing.assert_array_equal(block.edge_dst, [4])
+        np.testing.assert_array_equal(block.edge_src, [4])
+
+    def test_two_hop_frontier_expands(self, tiny_graph):
+        # seeds {0}: 1-hop N(0) = {1, 2}; input block covers 2 hops
+        batch = full_neighbor_blocks(tiny_graph, np.array([0]), 2)
+        np.testing.assert_array_equal(batch.blocks[-1].dst_vertices, [0])
+        np.testing.assert_array_equal(batch.blocks[-1].src_vertices, [0, 1, 2])
+        np.testing.assert_array_equal(
+            batch.blocks[0].dst_vertices, [0, 1, 2]
+        )
+        assert 3 in batch.blocks[0].src_vertices  # 2's neighbor
+
+    def test_num_layers_validated(self, tiny_graph):
+        with pytest.raises(ValueError):
+            full_neighbor_blocks(tiny_graph, np.array([0]), 0)
+
+    def test_assemble_batch_routes_fanouts(self, tiny_graph):
+        sampled = assemble_batch(
+            tiny_graph, np.array([3]), 2, fanouts=(2, 2),
+            rng=np.random.default_rng(0),
+        )
+        assert len(sampled.blocks) == 2
+        with pytest.raises(ValueError):
+            assemble_batch(tiny_graph, np.array([3]), 2, fanouts=(2,))
+
+
+class TestBlockForward:
+    @pytest.mark.parametrize("model_type", ["gcn", "sage"])
+    def test_exact_assembly_matches_full_graph_predict(
+        self, tiny_graph, model_type
+    ):
+        rng = np.random.default_rng(3)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model(model_type, 6, 4, 3, num_layers=2, seed=2)
+        oracle = model.predict(tiny_graph, features)
+        batch = assemble_batch(tiny_graph, np.arange(5), 2)
+        result = block_forward(tiny_graph, model, batch, features)
+        np.testing.assert_allclose(result.logits, oracle, atol=1e-4)
+
+    def test_repeated_query_vertices_dedup_to_unique_rows(self, tiny_graph):
+        rng = np.random.default_rng(4)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model("gcn", 6, 4, 3, num_layers=2, seed=0)
+        requested = np.array([3, 0, 3, 3])
+        batch = assemble_batch(tiny_graph, requested, 2)
+        result = block_forward(tiny_graph, model, batch, features)
+        np.testing.assert_array_equal(result.query_vertices, [0, 3])
+        assert result.logits.shape[0] == 2
+        # positional mapping recovers each requested row
+        rows = np.searchsorted(result.query_vertices, requested)
+        np.testing.assert_array_equal(rows, [1, 0, 1, 1])
+
+    def test_isolated_vertex_logits_match_predict(self, tiny_graph):
+        rng = np.random.default_rng(5)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model("gcn", 6, 4, 3, num_layers=2, seed=1)
+        oracle = model.predict(tiny_graph, features)
+        batch = assemble_batch(tiny_graph, np.array([4]), 2)
+        result = block_forward(tiny_graph, model, batch, features)
+        np.testing.assert_allclose(result.logits[0], oracle[4], atol=1e-4)
+
+    def test_empty_batch_forward(self, tiny_graph):
+        rng = np.random.default_rng(6)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model("gcn", 6, 4, 3, num_layers=2, seed=1)
+        batch = assemble_batch(tiny_graph, np.array([], dtype=np.int64), 2)
+        result = block_forward(tiny_graph, model, batch, features)
+        assert result.logits.shape == (0, 3)
+        assert result.embeddings.shape[0] == 0
+
+    def test_embeddings_are_last_layer_input(self, tiny_graph):
+        rng = np.random.default_rng(7)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model("gcn", 6, 4, 3, num_layers=2, seed=1)
+        batch = assemble_batch(tiny_graph, np.array([1, 2]), 2)
+        result = block_forward(tiny_graph, model, batch, features)
+        assert result.embeddings.shape == (2, 4)  # hidden width
+
+    def test_block_count_must_match_model_depth(self, tiny_graph):
+        rng = np.random.default_rng(8)
+        features = rng.standard_normal((5, 6)).astype(np.float32)
+        model = build_model("gcn", 6, 4, 3, num_layers=2, seed=1)
+        batch = assemble_batch(tiny_graph, np.array([0]), 1)
+        with pytest.raises(ValueError):
+            block_forward(tiny_graph, model, batch, features)
 
 
 class TestMiniBatchTrainer:

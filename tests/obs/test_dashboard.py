@@ -276,3 +276,37 @@ class TestProfileSection:
     def test_no_profile_no_section(self):
         html = build_dashboard(report={"schema": 1, "spans": [], "metrics": {}})
         assert "Profiler ticks" not in html
+
+
+class TestServingSection:
+    def serve_report(self):
+        return {
+            "metrics": {
+                "serve.requests": {"type": "counter", "value": 200.0},
+                "serve.errors": {"type": "counter", "value": 0.0},
+                "serve.cache.hits": {"type": "counter", "value": 150.0},
+                "serve.cache.misses": {"type": "counter", "value": 50.0},
+                "serve.batch.occupancy": {
+                    "type": "histogram", "count": 20, "p50": 3.0, "p95": 8.0,
+                },
+                "serve.latency.request_s": {
+                    "type": "histogram", "count": 200,
+                    "p50": 0.002, "p95": 0.008, "p99": 0.02,
+                },
+                "serve.latency.queue_s": {
+                    "type": "histogram", "count": 200,
+                    "p50": 0.0005, "p95": 0.001, "p99": 0.002,
+                },
+            }
+        }
+
+    def test_serving_section_rendered(self):
+        page = build_dashboard(report=self.serve_report())
+        assert "Serving" in page
+        assert "Cache hit rate" in page
+        assert "Request latency percentiles" in page
+        assert "stage latency breakdown" in page
+
+    def test_no_serve_metrics_no_section(self):
+        page = build_dashboard(report={"metrics": {}})
+        assert "Serving" not in page

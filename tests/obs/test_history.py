@@ -239,3 +239,43 @@ class TestCompareCli:
             ["compare", "--history", str(tmp_path / "h.jsonl"), "--current", str(bogus)]
         )
         assert code == 2
+
+
+class TestServingDirections:
+    def test_qps_suffixes_flip_to_higher_is_better(self):
+        names = [
+            "serve.qps",
+            "loadgen.requests_per_s",
+            "serve.latency_p99_s",
+            "elapsed_s",
+        ]
+        flipped = default_higher_is_better(names)
+        assert flipped == {"serve.qps", "loadgen.requests_per_s"}
+
+    def test_qps_drop_regresses_latency_rise_regresses(self):
+        baseline = [
+            entry(1.0, **{"serve.qps": 1000.0, "serve.latency_p99_s": 0.01})
+            for _ in range(3)
+        ]
+        slower = entry(
+            1.0, **{"serve.qps": 500.0, "serve.latency_p99_s": 0.05}
+        )
+        report = compare_entries(
+            baseline,
+            slower,
+            higher_is_better=default_higher_is_better(slower.metrics),
+        )
+        regressed = {c.name for c in report.regressions}
+        assert "serve.qps" in regressed
+        assert "serve.latency_p99_s" in regressed
+
+    def test_skipped_zero_baseline_renders_without_crash(self):
+        """A ~zero baseline yields ratio=None ('skipped'); render() must
+        format it instead of raising on the None ratio."""
+        baseline = [entry(1.0, **{"serve.error_fraction": 0.0})]
+        current = entry(1.0, **{"serve.error_fraction": 0.0})
+        report = compare_entries(baseline, current)
+        text = report.render()
+        assert "serve.error_fraction" in text
+        assert "skipped" in text
+        assert report.ok

@@ -273,3 +273,60 @@ class TestLiveRunMonitor:
             frame = monitor.render()
         assert "rss 3.0 MB" in frame
         assert json.loads(json.dumps(monitor.metrics))  # JSON-clean scrape
+
+
+class TestServingView:
+    def serve_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 120)
+        reg.inc("serve.cache.hits", 90)
+        reg.inc("serve.cache.misses", 30)
+        reg.set_gauge("serve.cache.size", 30.0)
+        reg.set_gauge("serve.queue_depth", 2.0)
+        for value in (0.001, 0.002, 0.004):
+            reg.observe("serve.latency.request_s", value)
+        reg.observe("serve.batch.occupancy", 4.0)
+        return reg
+
+    def test_serve_section_rendered(self, tmp_path):
+        monitor = LiveRunMonitor(
+            str(tmp_path / "none.jsonl"), registry=self.serve_registry()
+        )
+        monitor.poll()
+        frame = monitor.render()
+        assert "serve requests 120" in frame
+        assert "cache hit 75% (90/120)" in frame
+        assert "queue 2" in frame
+        assert "lat   p50" in frame
+        assert "batch occupancy" in frame
+
+    def test_no_serve_metrics_no_section(self, tmp_path):
+        monitor = LiveRunMonitor(
+            str(tmp_path / "none.jsonl"), registry=MetricsRegistry()
+        )
+        monitor.poll()
+        assert "serve requests" not in monitor.render()
+
+    def test_unknown_families_render_generically(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("dma.descriptors", 42)
+        reg.set_gauge("shard.halo_bytes", 1024.0)
+        reg.observe("custom.stage_s", 0.5)
+        monitor = LiveRunMonitor(str(tmp_path / "none.jsonl"), registry=reg)
+        monitor.poll()
+        frame = monitor.render()
+        assert "descriptors 42" in frame
+        assert "halo_bytes=1024" in frame
+        assert "stage_s p50=0.5" in frame
+
+    def test_native_planes_not_duplicated_in_generic_view(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.set_gauge("proc.rss_bytes", 1e6)
+        reg.set_gauge("serve.queue_depth", 1.0)
+        reg.inc("serve.requests", 1)
+        monitor = LiveRunMonitor(str(tmp_path / "none.jsonl"), registry=reg)
+        monitor.poll()
+        frame = monitor.render()
+        # proc/serve render in their own sections, once
+        assert frame.count("rss") == 1
+        assert frame.count("queue_depth") == 0

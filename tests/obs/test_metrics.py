@@ -442,3 +442,46 @@ class TestPickleRoundTrip:
         parent_a.merge(child, prefix="worker0.")
         parent_b.merge(pickle.loads(pickle.dumps(child)), prefix="worker0.")
         assert parent_a.snapshot() == parent_b.snapshot()
+
+
+class TestHistogramTimer:
+    def test_time_observes_block_duration(self):
+        import time
+
+        h = Histogram()
+        with h.time():
+            time.sleep(0.01)
+        assert h.count == 1
+        assert 0.005 <= h.percentile(50.0) < 1.0
+
+    def test_time_matches_manual_observe_semantics(self):
+        """A timed block and a manual observe land identically: one
+        sample, counted in count/total/percentiles alike."""
+        import time
+
+        timed, manual = Histogram(), Histogram()
+        with timed.time():
+            pass
+        start = time.perf_counter()
+        manual.observe(time.perf_counter() - start)
+        assert timed.count == manual.count == 1
+        assert timed.total >= 0.0 and manual.total >= 0.0
+
+    def test_time_observes_even_on_exception(self):
+        h = Histogram()
+        with pytest.raises(RuntimeError):
+            with h.time():
+                raise RuntimeError("boom")
+        assert h.count == 1
+
+    def test_registry_histogram_time_roundtrip(self):
+        registry = MetricsRegistry()
+        with registry.histogram("stage.s").time():
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["stage.s"]["count"] == 1
+
+    def test_null_registry_histogram_time_is_noop(self):
+        with NULL_REGISTRY.histogram("stage.s").time():
+            pass
+        assert len(NULL_REGISTRY) == 0

@@ -176,3 +176,42 @@ class TestRuleEngine:
     def test_accepts_parsed_rule_list(self):
         engine = RuleEngine([parse_rule("cap: m < 10")])
         assert len(engine.rules) == 1
+
+
+class TestDefaultServeRules:
+    def test_parse_and_names(self):
+        from repro.obs.rules import default_serve_rules
+
+        rules = default_serve_rules()
+        names = {rule.name for rule in rules}
+        assert names == {
+            "serve_p99", "serve_queue", "serve_rejects", "serve_errors",
+        }
+
+    def test_quiet_service_fires_nothing(self):
+        from repro.obs.rules import default_serve_rules
+
+        engine = RuleEngine(default_serve_rules())
+        snapshot = {
+            "serve.queue_depth": gauge(3.0),
+            "serve.rejected": counter(0.0),
+            "serve.errors": counter(0.0),
+            "serve.latency.request_s": {
+                "type": "histogram", "count": 10, "p99": 0.05,
+            },
+        }
+        for _ in range(4):
+            engine.evaluate(snapshot)
+        assert engine.ok
+
+    def test_p99_breach_fires(self):
+        from repro.obs.rules import default_serve_rules
+
+        engine = RuleEngine(default_serve_rules())
+        engine.evaluate(
+            {"serve.latency.request_s": {
+                "type": "histogram", "count": 5, "p99": 9.0,
+            }}
+        )
+        assert not engine.ok
+        assert any(a.rule == "serve_p99" for a in engine.alerts)

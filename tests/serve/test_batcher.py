@@ -1,0 +1,141 @@
+"""Unit tests for the request batcher: coalescing + admission control."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import RequestBatcher, ServeRequest
+
+
+def make_request(vertex=0):
+    return ServeRequest(
+        vertices=np.array([vertex]), mode="classify", trace_id=f"t{vertex}"
+    )
+
+
+class TestCoalescing:
+    def test_lone_request_dispatches_after_max_wait(self):
+        batches = []
+        batcher = RequestBatcher(batches.append, max_batch=8, max_wait_s=0.01)
+        try:
+            request = make_request()
+            assert batcher.submit(request)
+            # handler only records; the dispatcher's forgot-one backstop
+            # unblocks the request, which doubles as the dispatch signal
+            assert request.done.wait(timeout=2.0)
+            assert len(batches) == 1 and len(batches[0]) == 1
+        finally:
+            batcher.close()
+
+    def test_full_batch_closes_at_max_batch(self):
+        release = threading.Event()
+        batches = []
+
+        def handler(batch):
+            batches.append(len(batch))
+            for r in batch:
+                r.finish(result={})
+            release.set()
+
+        batcher = RequestBatcher(handler, max_batch=3, max_wait_s=5.0)
+        try:
+            requests = [make_request(v) for v in range(3)]
+            for r in requests:
+                assert batcher.submit(r)
+            # despite the 5s window, 3 requests == max_batch dispatches now
+            assert release.wait(timeout=2.0)
+            assert batches == [3]
+            assert all(r.done.is_set() for r in requests)
+        finally:
+            batcher.close()
+
+    def test_handler_error_fails_every_request(self):
+        def handler(batch):
+            raise RuntimeError("boom")
+
+        batcher = RequestBatcher(handler, max_batch=4, max_wait_s=0.0)
+        try:
+            request = make_request()
+            batcher.submit(request)
+            assert request.done.wait(timeout=2.0)
+            assert isinstance(request.error, RuntimeError)
+        finally:
+            batcher.close()
+
+    def test_forgotten_request_gets_error_backstop(self):
+        def handler(batch):
+            pass  # finishes nothing
+
+        batcher = RequestBatcher(handler, max_batch=4, max_wait_s=0.0)
+        try:
+            request = make_request()
+            batcher.submit(request)
+            assert request.done.wait(timeout=2.0)
+            assert isinstance(request.error, RuntimeError)
+        finally:
+            batcher.close()
+
+
+class TestAdmission:
+    def test_submit_rejects_when_queue_full(self):
+        hold = threading.Event()
+
+        def handler(batch):
+            hold.wait(timeout=5.0)
+            for r in batch:
+                r.finish(result={})
+
+        batcher = RequestBatcher(handler, max_batch=1, max_wait_s=0.0,
+                                 max_queue=1)
+        try:
+            # first request occupies the worker; then fill the queue
+            assert batcher.submit(make_request(0))
+            results = [batcher.submit(make_request(v)) for v in range(1, 8)]
+            assert not all(results)  # at least one shed
+            assert batcher.rejected >= 1
+        finally:
+            hold.set()
+            batcher.close()
+
+    def test_stats_counts(self):
+        batcher = RequestBatcher(
+            lambda batch: [r.finish(result={}) for r in batch],
+            max_batch=2, max_wait_s=0.0,
+        )
+        try:
+            request = make_request()
+            batcher.submit(request)
+            request.done.wait(timeout=2.0)
+            stats = batcher.stats()
+            assert stats["submitted"] == 1
+            assert stats["max_batch"] == 2
+        finally:
+            batcher.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(lambda b: None, max_batch=0)
+        with pytest.raises(ValueError):
+            RequestBatcher(lambda b: None, max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            RequestBatcher(lambda b: None, max_queue=0)
+
+
+class TestClose:
+    def test_close_is_idempotent_and_joins(self):
+        batcher = RequestBatcher(lambda b: None, max_batch=1, max_wait_s=0.0)
+        batcher.close()
+        batcher.close()
+        assert not batcher._thread.is_alive()
+
+    def test_pending_request_still_dispatched_on_close(self):
+        done = []
+        batcher = RequestBatcher(
+            lambda batch: done.extend(r.finish(result={}) or 1 for r in batch),
+            max_batch=64, max_wait_s=10.0,
+        )
+        request = make_request()
+        batcher.submit(request)
+        batcher.close()
+        assert request.done.wait(timeout=1.0)

@@ -1,0 +1,266 @@
+"""Integration tests: the inference service + HTTP front end, traced.
+
+The centerpiece assertions mirror the acceptance bar: one HTTP request
+renders as a complete ``serve.request -> serve.queue -> serve.batch ->
+kernel.serve.block`` span tree sharing a single trace id, and the
+served logits match the full-graph ``model.predict`` oracle exactly
+(the default assembly is exact, not sampled).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nn import build_model
+from repro.serve import (
+    AdmissionRejected,
+    InferenceService,
+    RequestTimeout,
+    ServingServer,
+)
+
+
+@pytest.fixture()
+def setup(small_products, features16):
+    model = build_model("gcn", 16, 8, 5, num_layers=2, seed=1)
+    service = InferenceService(
+        small_products, features16, model, max_wait_s=0.001
+    )
+    yield small_products, features16, model, service
+    service.close()
+
+
+def get_json(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url, doc, timeout=10.0):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestQuery:
+    def test_classify_matches_full_graph_predict(self, setup):
+        graph, features, model, service = setup
+        oracle = model.predict(graph, features)
+        response = service.query([0, 3, 7], mode="classify")
+        assert response["classes"] == [
+            int(oracle[v].argmax()) for v in (0, 3, 7)
+        ]
+        assert response["scores"] == pytest.approx(
+            [float(oracle[v].max()) for v in (0, 3, 7)], abs=1e-4
+        )
+
+    def test_repeated_vertices_answered_per_position(self, setup):
+        _, _, _, service = setup
+        response = service.query([5, 5, 2, 5])
+        assert len(response["classes"]) == 4
+        assert response["classes"][0] == response["classes"][1]
+        assert response["classes"][1] == response["classes"][3]
+
+    def test_embedding_mode_row_width_is_last_hidden(self, setup):
+        _, _, model, service = setup
+        response = service.query([1, 2], mode="embedding")
+        assert len(response["embeddings"]) == 2
+        # the embedding is the input to the final layer
+        assert len(response["embeddings"][0]) == model.layers[-1].in_features
+
+    def test_second_request_is_a_cache_hit(self, setup):
+        _, _, _, service = setup
+        first = service.query([4])
+        second = service.query([4])
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["classes"] == first["classes"]
+        assert service.cache.hits >= 1
+
+    def test_bad_input_raises_value_error(self, setup):
+        _, _, _, service = setup
+        with pytest.raises(ValueError):
+            service.query([])
+        with pytest.raises(ValueError):
+            service.query([0], mode="nope")
+        with pytest.raises(ValueError):
+            service.query([10**9])
+        with pytest.raises(ValueError):
+            service.query([-1])
+
+    def test_stats_document(self, setup):
+        graph, _, _, service = setup
+        service.query([0])
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["graph"]["vertices"] == graph.num_vertices
+        assert stats["assembly"] == "exact"
+
+
+class TestTracePropagation:
+    def test_request_span_tree_shares_one_trace_id(self, setup):
+        _, _, _, service = setup
+        tracer, _ = obs.enable()
+        try:
+            response = service.query([2, 9])
+        finally:
+            obs.disable()
+        tid = response["trace_id"]
+        spans = tracer.spans()
+        request = next(
+            s for s in spans
+            if s.name == "serve.request" and s.attrs.get("trace_id") == tid
+        )
+        children = [s for s in spans if s.parent_id == request.span_id]
+        names = sorted(s.name for s in children)
+        assert names == ["serve.batch", "serve.queue"]
+        batch = next(s for s in children if s.name == "serve.batch")
+        assert tid in ([batch.attrs.get("trace_id")]
+                       + list(batch.attrs.get("trace_ids", [])))
+        kernels = [s for s in spans if s.parent_id == batch.span_id]
+        assert kernels
+        assert all(s.name == "kernel.serve.block" for s in kernels)
+        assert len(kernels) == service.model.num_layers
+
+    def test_cache_hit_request_has_no_batch_child(self, setup):
+        _, _, _, service = setup
+        service.query([6])  # fills the cache, untraced
+        tracer, _ = obs.enable()
+        try:
+            response = service.query([6])
+        finally:
+            obs.disable()
+        assert response["cached"] is True
+        request = next(
+            s for s in tracer.spans() if s.name == "serve.request"
+        )
+        children = [
+            s for s in tracer.spans() if s.parent_id == request.span_id
+        ]
+        assert children == []
+
+    def test_serve_metrics_published(self, setup):
+        _, _, _, service = setup
+        _, registry = obs.enable()
+        try:
+            service.query([1])
+            service.query([1])
+        finally:
+            obs.disable()
+        snapshot = registry.snapshot()
+        assert snapshot["serve.requests"]["value"] == 2.0
+        assert snapshot["serve.cache.hits"]["value"] >= 1.0
+        assert snapshot["serve.latency.request_s"]["count"] == 2
+        assert "serve.latency.assemble_s" in snapshot
+        assert "serve.latency.forward_s" in snapshot
+        assert "serve.batch.occupancy" in snapshot
+
+
+class TestTimeoutsAndShedding:
+    def test_timeout_raises(self, setup):
+        graph, features, model, _ = setup
+        service = InferenceService(
+            graph, features, model, max_wait_s=5.0, max_batch=64
+        )
+        try:
+            with pytest.raises(RequestTimeout):
+                # the lone request waits out the 5s coalescing window,
+                # far past its 10ms bound
+                service.query([0], timeout_s=0.01)
+        finally:
+            service.close()
+
+    def test_admission_rejection_when_queue_full(self, setup):
+        import threading
+
+        graph, features, model, _ = setup
+        service = InferenceService(
+            graph, features, model, max_wait_s=0.0, max_batch=1, max_queue=1
+        )
+        hold = threading.Event()
+        forward = service.batcher.handler
+
+        def slow_handler(batch):
+            hold.wait(timeout=10.0)
+            forward(batch)
+
+        service.batcher.handler = slow_handler
+        try:
+            outcomes = []
+
+            def probe(v):
+                try:
+                    service.query([v], timeout_s=15.0)
+                    outcomes.append("ok")
+                except AdmissionRejected:
+                    outcomes.append("rejected")
+
+            threads = [
+                threading.Thread(target=probe, args=(v,)) for v in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            # one request blocks the worker, one sits in the queue; the
+            # rest must shed synchronously with AdmissionRejected
+            deadline = threading.Event()
+            deadline.wait(timeout=0.3)
+            hold.set()
+            for thread in threads:
+                thread.join(timeout=15.0)
+            assert "rejected" in outcomes
+            assert "ok" in outcomes
+        finally:
+            hold.set()
+            service.close()
+
+
+class TestHTTPServer:
+    def test_get_predict_healthz_stats(self, setup):
+        _, _, _, service = setup
+        with ServingServer(service, port=0) as server:
+            status, doc = get_json(f"{server.url}/v1/predict?vertex=3")
+            assert status == 200
+            assert doc["vertices"] == [3]
+            assert "trace_id" in doc and "classes" in doc
+            status, health = get_json(f"{server.url}/healthz")
+            assert status == 200 and health["status"] == "ok"
+            status, stats = get_json(f"{server.url}/stats.json")
+            assert status == 200 and stats["requests"] == 1
+
+    def test_post_predict_batch(self, setup):
+        _, _, _, service = setup
+        with ServingServer(service, port=0) as server:
+            status, doc = post_json(
+                f"{server.url}/v1/predict",
+                {"vertices": [0, 1, 2], "mode": "embedding"},
+            )
+            assert status == 200
+            assert len(doc["embeddings"]) == 3
+
+    def test_error_mapping(self, setup):
+        _, _, _, service = setup
+        with ServingServer(service, port=0) as server:
+            for path, expected in (
+                ("/v1/predict?vertex=abc", 400),  # non-integer id
+                ("/v1/predict", 400),  # no vertices
+                ("/v1/predict?vertex=999999999", 400),  # out of range
+                ("/v1/predict?vertex=0&mode=nope", 400),  # bad mode
+                ("/missing", 404),
+            ):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    get_json(f"{server.url}{path}")
+                assert excinfo.value.code == expected
+
+    def test_stop_closes_batcher(self, setup):
+        _, _, _, service = setup
+        server = ServingServer(service, port=0)
+        server.start()
+        server.stop()
+        assert not service.batcher._thread.is_alive()
